@@ -1,0 +1,566 @@
+// Package core implements DynDens, the incremental algorithm for maintaining
+// dense subgraphs under streaming edge-weight updates (the Engagement
+// problem) described in Sections 3, 4, 6 and 7 of the paper.
+//
+// The engine owns the evolving weighted graph, the dense-subgraph prefix-tree
+// index, and the threshold schedule. Each call to Process applies one edge
+// weight update and returns the changes to the set of output-dense subgraphs
+// (subgraphs whose density is at least the user threshold T and whose
+// cardinality is at most Nmax).
+package core
+
+import (
+	"fmt"
+
+	"dyndens/internal/density"
+	"dyndens/internal/graph"
+	"dyndens/internal/index"
+	"dyndens/internal/vset"
+)
+
+// Vertex aliases the graph vertex type.
+type Vertex = vset.Vertex
+
+// Update aliases the graph edge-weight update type.
+type Update = graph.Update
+
+// Config configures a DynDens engine.
+type Config struct {
+	// Measure selects the density normalisation S_n. Defaults to AvgWeight.
+	Measure density.Measure
+	// T is the output-density threshold; must be positive.
+	T float64
+	// Nmax is the maximum cardinality of subgraphs of interest; must be ≥ 2.
+	Nmax int
+	// DeltaIt is the δ_it tuning parameter (space/time trade-off). If zero,
+	// DeltaItFraction is used instead.
+	DeltaIt float64
+	// DeltaItFraction sets δ_it as a fraction of its maximum valid value
+	// (Section 4.1.3). Used only when DeltaIt is zero; defaults to 0.01,
+	// matching the paper's main experiments.
+	DeltaItFraction float64
+
+	// DisableImplicitTooDense turns off the ImplicitTooDense optimisation
+	// (Section 3.2.3), forcing Explore-All to insert every supergraph of a
+	// too-dense subgraph explicitly. Only useful for the ablation experiment.
+	DisableImplicitTooDense bool
+	// EnableMaxExplore enables the MaxExplore heuristic (Section 7.1).
+	EnableMaxExplore bool
+	// EnableDegreePrioritize enables the DegreePrioritize heuristic (Section 7.2).
+	EnableDegreePrioritize bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Measure == nil {
+		c.Measure = density.AvgWeight
+	}
+	if c.DeltaIt == 0 {
+		frac := c.DeltaItFraction
+		if frac <= 0 || frac >= 1 {
+			frac = 0.01
+		}
+		c.DeltaIt = frac * density.MaxDeltaIt(c.Measure, c.T, c.Nmax)
+	}
+	return c
+}
+
+// EventKind describes how the output-dense set changed.
+type EventKind uint8
+
+const (
+	// BecameOutputDense reports a subgraph whose density crossed T upward.
+	BecameOutputDense EventKind = iota + 1
+	// CeasedOutputDense reports a subgraph whose density dropped below T.
+	CeasedOutputDense
+)
+
+// String implements fmt.Stringer.
+func (k EventKind) String() string {
+	switch k {
+	case BecameOutputDense:
+		return "became-output-dense"
+	case CeasedOutputDense:
+		return "ceased-output-dense"
+	default:
+		return fmt.Sprintf("EventKind(%d)", uint8(k))
+	}
+}
+
+// Event is a change to the output-dense subgraph set caused by one update.
+type Event struct {
+	Kind    EventKind
+	Set     vset.Set
+	Score   float64
+	Density float64
+}
+
+// Subgraph is a snapshot of one maintained subgraph.
+type Subgraph struct {
+	Set     vset.Set
+	Score   float64
+	Density float64
+}
+
+// Stats aggregates work counters across the lifetime of the engine. All
+// counters are monotonically increasing except the index gauges.
+type Stats struct {
+	Updates         uint64 // updates processed
+	PositiveUpdates uint64
+	NegativeUpdates uint64
+	Explorations    uint64 // explore() invocations that scanned a neighbourhood
+	ExploreAll      uint64 // Explore-All scans (only without ImplicitTooDense)
+	CheapExplores   uint64 // cheap-exploration attempts
+	Insertions      uint64 // dense subgraphs inserted into the index
+	Evictions       uint64 // dense subgraphs evicted from the index
+	StarInsertions  uint64 // ImplicitTooDense families created
+	MaxExploreSkips uint64 // explorations skipped by the MaxExplore heuristic
+	DegreeSkips     uint64 // candidates skipped by DegreePrioritize
+	Events          uint64 // output events emitted
+
+	IndexedDense  int // current number of explicitly indexed dense subgraphs
+	IndexedStars  int // current number of ImplicitTooDense families
+	IndexNodes    int // current prefix-tree node count
+	MaxIndexNodes int // high-water mark of IndexNodes
+}
+
+// Engine is a DynDens instance. It is not safe for concurrent use; the update
+// stream must be processed sequentially (as in the paper).
+type Engine struct {
+	cfg Config
+	th  *density.Thresholds
+	g   *graph.Graph
+	ix  *index.Index
+
+	stats Stats
+
+	// Per-update scratch state (valid during Process only).
+	a, b        Vertex
+	delta       float64
+	maxIter     int
+	maxExplore  int // MaxExplore heuristic cap (Nmax+1 = unlimited)
+	maxExploreA int
+	maxExploreB int
+	events      []Event
+}
+
+// New creates a DynDens engine. It validates the configuration (threshold
+// schedule, δ_it range, measure monotonicity).
+func New(cfg Config) (*Engine, error) {
+	cfg = cfg.withDefaults()
+	th, err := density.NewThresholds(cfg.Measure, cfg.T, cfg.Nmax, cfg.DeltaIt)
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{
+		cfg: cfg,
+		th:  th,
+		g:   graph.New(),
+		ix:  index.New(),
+	}, nil
+}
+
+// MustNew is New that panics on error; intended for tests and examples.
+func MustNew(cfg Config) *Engine {
+	e, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+// Config returns the effective configuration (with defaults applied).
+func (e *Engine) Config() Config { return e.cfg }
+
+// Thresholds exposes the active threshold schedule.
+func (e *Engine) Thresholds() *density.Thresholds { return e.th }
+
+// Graph exposes the maintained weighted graph for read-only inspection.
+func (e *Engine) Graph() *graph.Graph { return e.g }
+
+// Stats returns a snapshot of the work counters.
+func (e *Engine) Stats() Stats {
+	s := e.stats
+	s.IndexedDense = e.ix.Len()
+	s.IndexedStars = e.ix.StarCount()
+	s.IndexNodes = e.ix.NodeCount()
+	return s
+}
+
+// Process applies one edge-weight update and returns the resulting changes to
+// the output-dense subgraph set. Updates with A == B or Delta == 0 are no-ops.
+func (e *Engine) Process(u Update) []Event {
+	e.stats.Updates++
+	if u.A == u.B || u.Delta == 0 {
+		return nil
+	}
+	before, after := e.g.Apply(u)
+	applied := after - before // Delta clamped if the weight would go negative
+	if applied == 0 {
+		return nil
+	}
+	e.a, e.b, e.delta = u.A, u.B, applied
+	e.events = nil
+	e.ix.BeginUpdate()
+	if applied < 0 {
+		e.stats.NegativeUpdates++
+		e.processNegative()
+	} else {
+		e.stats.PositiveUpdates++
+		e.processPositive()
+	}
+	e.stats.Events += uint64(len(e.events))
+	if n := e.ix.NodeCount(); n > e.stats.MaxIndexNodes {
+		e.stats.MaxIndexNodes = n
+	}
+	return e.events
+}
+
+// ProcessAll applies a sequence of updates, discarding events, and returns
+// the total number of events that were generated. It is the convenience entry
+// point used by benchmarks and bulk loads.
+func (e *Engine) ProcessAll(updates []Update) int {
+	total := 0
+	for _, u := range updates {
+		total += len(e.Process(u))
+	}
+	return total
+}
+
+// emit records an output event.
+func (e *Engine) emit(kind EventKind, c vset.Set, score float64) {
+	e.events = append(e.events, Event{
+		Kind:    kind,
+		Set:     c.Clone(),
+		Score:   score,
+		Density: e.th.Density(score, c.Len()),
+	})
+}
+
+// bumpScore adjusts the stored score of a dense node (and its star family, if
+// any) by delta and returns the new score.
+func (e *Engine) bumpScore(n *index.Node, delta float64) float64 {
+	newScore := e.ix.AddScore(n, delta)
+	if star := e.ix.StarOf(n); star != nil {
+		e.ix.SetScore(star, newScore)
+	}
+	return newScore
+}
+
+// processNegative handles δ < 0 (Algorithm 1, line 2): every dense subgraph
+// containing both endpoints has its density decreased; subgraphs that drop
+// below the output threshold are reported, and subgraphs that stop being
+// dense are evicted from the index.
+func (e *Engine) processNegative() {
+	a, b := e.a, e.b
+	for _, node := range e.ix.DenseContaining(a) {
+		if !node.Dense() {
+			continue // already evicted via pruning cascade
+		}
+		c := node.Set()
+		if !c.Contains(b) {
+			continue
+		}
+		n := c.Len()
+		wasOutput := e.th.IsOutputDense(node.Score(), n)
+		newScore := e.bumpScore(node, e.delta)
+		if wasOutput && !e.th.IsOutputDense(newScore, n) {
+			e.emit(CeasedOutputDense, c, newScore)
+		}
+		if e.ix.HasStar(node) && !e.th.IsTooDense(newScore, n) {
+			e.ix.RemoveStar(node)
+		}
+		if !e.th.IsDense(newScore, n) {
+			e.ix.EvictDense(node)
+			e.stats.Evictions++
+		}
+	}
+}
+
+// processPositive handles δ > 0 (Algorithm 1, lines 4–11).
+func (e *Engine) processPositive() {
+	a, b := e.a, e.b
+	e.maxIter = e.th.Iterations(e.delta)
+	e.computeMaxExplore()
+
+	// Snapshot the dense subgraphs containing a or b before any insertions so
+	// that each pre-existing dense subgraph is examined exactly once.
+	affected := e.ix.DenseContainingEither(a, b)
+	stars := e.ix.StarNodes()
+
+	// Base case: the edge {a, b} itself may have become dense.
+	pair := vset.New(a, b)
+	if e.ix.LookupDense(pair) == nil {
+		if w := e.g.Weight(a, b); e.th.IsDense(w, 2) {
+			e.admit(pair, w, 1)
+		}
+	}
+
+	for _, node := range affected {
+		if !node.Dense() {
+			continue
+		}
+		c := node.Set()
+		hasA, hasB := c.Contains(a), c.Contains(b)
+		if hasA && hasB {
+			// Stable-dense: its score grows by δ (Algorithm 1, line 10–11).
+			n := c.Len()
+			wasOutput := e.th.IsOutputDense(node.Score(), n)
+			newScore := e.bumpScore(node, e.delta)
+			if !wasOutput && e.th.IsOutputDense(newScore, n) {
+				e.emit(BecameOutputDense, c, newScore)
+			}
+			e.maintainStar(node, newScore, n)
+			e.explore(c, newScore, 1)
+		} else {
+			// Contains exactly one endpoint: cheap-explore (lines 6–8).
+			e.cheapExplore(c, node.Score(), hasA)
+		}
+	}
+
+	// ImplicitTooDense families (Section 3.2.3): the inverted list of '*' is
+	// examined as part of every positive update.
+	for _, star := range stars {
+		e.processStar(star)
+	}
+}
+
+// cheapExplore attempts to augment a dense subgraph containing exactly one of
+// the updated endpoints with the other endpoint (and thus with the updated
+// edge). c must not contain both endpoints; hasA tells which one it contains.
+func (e *Engine) cheapExplore(c vset.Set, score float64, hasA bool) {
+	a, b := e.a, e.b
+	missing := b
+	present := a
+	if !hasA {
+		missing, present = a, b
+	}
+	if !e.shouldCheapExplore(c, present) {
+		return
+	}
+	union := c.Add(missing)
+	if union.Len() > e.th.Nmax {
+		return
+	}
+	e.stats.CheapExplores++
+	if e.cfg.EnableDegreePrioritize {
+		// Section 7.2: skip the cheap-exploration when the added endpoint has a
+		// generalised degree (after the update) exceeding 2/(|C|−1)·score⁻(C).
+		if e.g.ScoreWith(c, missing) > 2.0/float64(c.Len()-1)*score {
+			e.stats.DegreeSkips++
+			return
+		}
+	}
+	if e.ix.HasDense(union) {
+		return
+	}
+	uScore := score + e.g.ScoreWith(c, missing)
+	if e.th.IsDense(uScore, union.Len()) {
+		e.admit(union, uScore, 2)
+	}
+}
+
+// shouldCheapExplore implements the cheap-exploration pruning rules: the
+// MaxExplore restriction of Section 7.1 and, when ImplicitTooDense is
+// disabled, the footnote-5 rule that too-dense subgraphs need not be
+// cheap-explored because all their supergraphs are already (explicitly)
+// indexed. With ImplicitTooDense enabled the supergraph obtained by adding
+// the updated endpoint may only be implicitly represented, so the
+// cheap-exploration must still run to promote it to an explicit entry.
+func (e *Engine) shouldCheapExplore(c vset.Set, present Vertex) bool {
+	if e.cfg.DisableImplicitTooDense && e.th.IsTooDense(e.g.Score(c), c.Len()) {
+		return false
+	}
+	if !e.cfg.EnableMaxExplore {
+		return true
+	}
+	// Section 7.1: if maxExplore_a ≥ maxExplore_b, cheap-explore all subgraphs
+	// containing only b, and subgraphs of cardinality ≤ maxExplore_a−1
+	// containing only a (and symmetrically).
+	limitA, limitB := e.maxExploreA, e.maxExploreB
+	if limitA >= limitB {
+		if present == e.a && c.Len() > limitA-1 {
+			e.stats.MaxExploreSkips++
+			return false
+		}
+	} else {
+		if present == e.b && c.Len() > limitB-1 {
+			e.stats.MaxExploreSkips++
+			return false
+		}
+	}
+	return true
+}
+
+// maintainStar keeps the invariant that every explicitly indexed dense
+// subgraph that is too-dense carries an ImplicitTooDense family (unless the
+// optimisation is disabled).
+func (e *Engine) maintainStar(node *index.Node, score float64, n int) {
+	if e.cfg.DisableImplicitTooDense {
+		return
+	}
+	if n < e.th.Nmax && e.th.IsTooDense(score, n) && !e.ix.HasStar(node) {
+		e.ix.InsertStar(node)
+		e.stats.StarInsertions++
+	}
+}
+
+// admit inserts a subgraph discovered to be dense during the current update,
+// reports it if it is output-dense, and explores around it. iter is the
+// exploration iteration at which it was identified (Algorithm 2).
+func (e *Engine) admit(c vset.Set, score float64, iter int) {
+	node := e.ix.InsertDense(c, score)
+	e.ix.Annotate(node, iter)
+	e.stats.Insertions++
+	n := c.Len()
+	if e.th.IsOutputDense(score, n) {
+		e.emit(BecameOutputDense, c, score)
+	}
+	e.maintainStar(node, score, n)
+	e.explore(c, score, iter)
+}
+
+// processStar handles one ImplicitTooDense family during a positive update.
+// The family of a too-dense base C stands for every C∪{y} with y disconnected
+// from C. Three cases matter (see DESIGN.md):
+//
+//   - a, b ∈ C: the base's score (and hence every member's score) grew; the
+//     base itself was handled as a stable-dense subgraph. Members may now be
+//     able to absorb an edge that is not incident on C (the paper's
+//     "explore C∪{*}" case); exploreStarMembers covers it.
+//   - exactly one of a, b ∈ C: the union C∪{a,b} equals the base's own
+//     cheap-exploration result and is handled there.
+//   - a, b ∉ C: if a (or b) is disconnected from C, the member C∪{a} (C∪{b})
+//     is an implicitly represented dense subgraph containing exactly one
+//     endpoint; cheap-exploring it yields C∪{a,b}.
+func (e *Engine) processStar(star *index.Node) {
+	base := star.Set()
+	nBase := base.Len()
+	a, b := e.a, e.b
+	hasA, hasB := base.Contains(a), base.Contains(b)
+	switch {
+	case hasA && hasB:
+		e.exploreStarMembers(star, base, nBase)
+	case hasA || hasB:
+		// Covered by the cheap-exploration of the (explicit) base.
+	default:
+		if nBase+2 > e.th.Nmax {
+			return
+		}
+		aDisc := e.g.ScoreWith(base, a) == 0
+		bDisc := e.g.ScoreWith(base, b) == 0
+		if !aDisc && !bDisc {
+			return
+		}
+		union := base.Add(a).Add(b)
+		if e.ix.HasDense(union) {
+			return
+		}
+		e.stats.CheapExplores++
+		score := e.g.Score(union)
+		if e.th.IsDense(score, union.Len()) {
+			e.admit(union, score, 2)
+		}
+	}
+}
+
+// exploreStarMembers handles the rare case in which implicitly represented
+// members C∪{y} of a too-dense base C (with both updated endpoints inside C)
+// could spawn newly-dense subgraphs C∪{y,z} through an edge {y,z} that is not
+// incident on C. Following Section 3.2.3, the base is augmented with whole
+// edges of sufficient weight instead of enumerating every member.
+func (e *Engine) exploreStarMembers(star *index.Node, base vset.Set, nBase int) {
+	if nBase+2 > e.th.Nmax || e.maxIter < 1 {
+		return
+	}
+	scoreAfter := star.Score()
+	scoreBefore := scoreAfter - e.delta
+	// If members were already too-dense before the update their dense
+	// supergraphs were already representable; nothing new can appear.
+	if e.th.IsTooDense(scoreBefore, nBase+1) {
+		return
+	}
+	need := e.th.MinDenseScore(nBase + 2)
+	minEdge := need - scoreAfter
+	if minEdge <= 0 {
+		minEdge = 0
+	}
+	e.g.EdgesNotIncident(base, func(u, v Vertex, w float64) {
+		if w < minEdge {
+			return
+		}
+		cand := base.Add(u).Add(v)
+		if cand.Len() != nBase+2 || e.ix.HasDense(cand) {
+			return
+		}
+		score := e.g.Score(cand)
+		if e.th.IsDense(score, cand.Len()) {
+			e.admit(cand, score, 2)
+		}
+	})
+}
+
+// explore implements Algorithm 2: try to augment a dense subgraph containing
+// both updated endpoints with one more vertex, recursing on newly-dense
+// results for up to ceil(δ/δ_it) iterations.
+func (e *Engine) explore(c vset.Set, score float64, iter int) {
+	n := c.Len()
+	if n >= e.th.Nmax {
+		return
+	}
+	// A subgraph that was too-dense before the update need not be explored:
+	// its dense supergraphs were stable-dense and are already represented.
+	if e.th.IsTooDense(score-e.delta, n) {
+		return
+	}
+	if iter > e.maxIter {
+		return
+	}
+	if e.cfg.EnableMaxExplore {
+		if e.maxExplore <= 3 || n >= e.maxExplore {
+			e.stats.MaxExploreSkips++
+			return
+		}
+	}
+	if e.th.IsTooDense(score, n) && e.cfg.DisableImplicitTooDense {
+		// Explore-All (Algorithm 2, line 3): every other vertex yields a dense
+		// supergraph, all of which must be inserted explicitly.
+		e.stats.ExploreAll++
+		for _, y := range e.g.Vertices() {
+			if c.Contains(y) {
+				continue
+			}
+			child := c.Add(y)
+			if e.ix.HasDense(child) {
+				continue
+			}
+			e.admit(child, score+e.g.ScoreWith(c, y), iter+1)
+		}
+		return
+	}
+	e.stats.Explorations++
+	degreeCap := 0.0
+	if e.cfg.EnableDegreePrioritize && n > 1 {
+		degreeCap = 2.0 / float64(n-1) * score
+	}
+	for y, add := range e.g.NeighborhoodScores(c) {
+		childScore := score + add
+		if !e.th.IsDense(childScore, n+1) {
+			continue
+		}
+		if degreeCap > 0 && add > degreeCap {
+			// Section 7.2: a vertex this strongly connected to C will be (or has
+			// been) reached by exploring around the subgraph obtained by dropping
+			// C's minimum-degree vertex instead.
+			e.stats.DegreeSkips++
+			continue
+		}
+		child := c.Add(y)
+		if e.ix.HasDense(child) {
+			// Stable-dense supergraphs are examined through the index snapshot;
+			// subgraphs admitted earlier in this update carry an iteration
+			// annotation and need not be examined again (Section 3.2.2).
+			continue
+		}
+		e.admit(child, childScore, iter+1)
+	}
+}

@@ -1,0 +1,77 @@
+package core
+
+import "sort"
+
+// computeMaxExplore evaluates the MaxExplore heuristic (Section 7.1) for the
+// current positive update. It derives, from the neighbourhoods of the two
+// updated endpoints alone, an upper bound maxExplore on the cardinality of
+// newly-dense subgraphs that can require explore-based (as opposed to
+// cheap-explore-based) discovery. Exploration around subgraphs at or beyond
+// that cardinality can be skipped without affecting correctness.
+//
+// When the heuristic is disabled the bound is set past Nmax so it never
+// restricts anything.
+func (e *Engine) computeMaxExplore() {
+	unlimited := e.th.Nmax + 1
+	e.maxExplore, e.maxExploreA, e.maxExploreB = unlimited, unlimited, unlimited
+	if !e.cfg.EnableMaxExplore {
+		return
+	}
+	// Z = 2·(g_Nmax·T + δ_it/(Nmax−1)).
+	gNmax := e.th.S(e.th.Nmax) / (float64(e.th.Nmax) * float64(e.th.Nmax-1))
+	z := 2 * (gNmax*e.th.T + e.th.DeltaIt/float64(e.th.Nmax-1))
+	wAfter := e.g.Weight(e.a, e.b)
+
+	e.maxExploreA = e.maxExploreFor(e.b, e.a, wAfter, z)
+	e.maxExploreB = e.maxExploreFor(e.a, e.b, wAfter, z)
+	e.maxExplore = e.maxExploreA
+	if e.maxExploreB < e.maxExplore {
+		e.maxExplore = e.maxExploreB
+	}
+}
+
+// maxExploreFor computes maxExplore_x where x is the endpoint whose
+// stable-dense subgraphs are guaranteed to underlie large newly-dense
+// subgraphs; other is the opposite endpoint (whose neighbourhood bounds the
+// contribution it can make to any subgraph's score).
+//
+// best(0) = w_ab after the update; best(i) for i ≥ 1 is the i-th largest
+// weight among other's edges excluding the one to x; top(i) = Σ_{j≤i} best(j).
+// maxExplore_x = min{ i ∈ [3, Nmax] : top(i−1) ≤ Z·(i−1) − δ_it ∧ best(i) < Z },
+// or Nmax+1 if no such i exists.
+func (e *Engine) maxExploreFor(other, x Vertex, wAfter, z float64) int {
+	nmax := e.th.Nmax
+	weights := make([]float64, 0, e.g.Degree(other))
+	e.g.Neighbors(other, func(v Vertex, w float64) {
+		if v == x {
+			return
+		}
+		weights = append(weights, w)
+	})
+	sort.Sort(sort.Reverse(sort.Float64Slice(weights)))
+
+	best := func(i int) float64 {
+		if i == 0 {
+			return wAfter
+		}
+		if i-1 < len(weights) {
+			return weights[i-1]
+		}
+		return 0
+	}
+	top := wAfter // top(0)
+	for i := 1; i <= nmax; i++ {
+		top += best(i)
+		if i+1 < 3 {
+			continue
+		}
+		cand := i + 1 // candidate value of maxExplore_x, with top(cand−1) = top
+		if cand > nmax {
+			break
+		}
+		if top <= z*float64(cand-1)-e.th.DeltaIt && best(cand) < z {
+			return cand
+		}
+	}
+	return nmax + 1
+}

@@ -1,0 +1,179 @@
+package core
+
+import (
+	"sort"
+
+	"dyndens/internal/vset"
+)
+
+// OutputDense returns the explicitly indexed subgraphs whose density is at
+// least the output threshold T, sorted by decreasing density (ties broken by
+// vertex set). This matches the accounting used in the paper's evaluation,
+// which excludes subgraphs that are only implicitly represented through
+// ImplicitTooDense families.
+func (e *Engine) OutputDense() []Subgraph {
+	var out []Subgraph
+	for _, n := range e.ix.DenseNodes() {
+		card := n.Card()
+		if e.th.IsOutputDense(n.Score(), card) {
+			out = append(out, Subgraph{
+				Set:     n.Set(),
+				Score:   n.Score(),
+				Density: e.th.Density(n.Score(), card),
+			})
+		}
+	}
+	sortSubgraphs(out)
+	return out
+}
+
+// OutputDenseCount returns the number of explicitly indexed output-dense
+// subgraphs without materialising them.
+func (e *Engine) OutputDenseCount() int {
+	count := 0
+	for _, n := range e.ix.DenseNodes() {
+		if e.th.IsOutputDense(n.Score(), n.Card()) {
+			count++
+		}
+	}
+	return count
+}
+
+// Dense returns every explicitly indexed dense subgraph (density ≥ T_{|C|}),
+// sorted by decreasing density.
+func (e *Engine) Dense() []Subgraph {
+	nodes := e.ix.DenseNodes()
+	out := make([]Subgraph, 0, len(nodes))
+	for _, n := range nodes {
+		out = append(out, Subgraph{
+			Set:     n.Set(),
+			Score:   n.Score(),
+			Density: e.th.Density(n.Score(), n.Card()),
+		})
+	}
+	sortSubgraphs(out)
+	return out
+}
+
+// DenseCount returns the number of explicitly indexed dense subgraphs.
+func (e *Engine) DenseCount() int { return e.ix.Len() }
+
+// ImplicitFamilyCount returns the number of ImplicitTooDense families.
+func (e *Engine) ImplicitFamilyCount() int { return e.ix.StarCount() }
+
+// OutputDenseExpanded returns the output-dense subgraphs including the
+// members of ImplicitTooDense families (base ∪ {y} for every vertex y of the
+// graph that is disconnected from the base), de-duplicated against explicit
+// entries. It is intended for ground-truth comparisons and small graphs; the
+// expansion can be as large as |V| per family.
+func (e *Engine) OutputDenseExpanded() []Subgraph {
+	seen := make(map[string]bool)
+	var out []Subgraph
+	add := func(s Subgraph) {
+		k := s.Set.Key()
+		if seen[k] {
+			return
+		}
+		seen[k] = true
+		out = append(out, s)
+	}
+	for _, s := range e.OutputDense() {
+		add(s)
+	}
+	vertices := e.g.Vertices()
+	for _, star := range e.ix.StarNodes() {
+		base := star.Set()
+		card := base.Len() + 1
+		score := star.Score()
+		if card > e.th.Nmax || !e.th.IsOutputDense(score, card) {
+			continue
+		}
+		for _, y := range vertices {
+			if base.Contains(y) || e.g.ScoreWith(base, y) > 0 {
+				continue
+			}
+			add(Subgraph{
+				Set:     base.Add(y),
+				Score:   score,
+				Density: e.th.Density(score, card),
+			})
+		}
+	}
+	sortSubgraphs(out)
+	return out
+}
+
+// DenseExpanded is Dense including ImplicitTooDense family members; see
+// OutputDenseExpanded for the caveats.
+func (e *Engine) DenseExpanded() []Subgraph {
+	seen := make(map[string]bool)
+	var out []Subgraph
+	add := func(s Subgraph) {
+		k := s.Set.Key()
+		if seen[k] {
+			return
+		}
+		seen[k] = true
+		out = append(out, s)
+	}
+	for _, s := range e.Dense() {
+		add(s)
+	}
+	vertices := e.g.Vertices()
+	for _, star := range e.ix.StarNodes() {
+		base := star.Set()
+		card := base.Len() + 1
+		score := star.Score()
+		if card > e.th.Nmax {
+			continue
+		}
+		for _, y := range vertices {
+			if base.Contains(y) || e.g.ScoreWith(base, y) > 0 {
+				continue
+			}
+			add(Subgraph{
+				Set:     base.Add(y),
+				Score:   score,
+				Density: e.th.Density(score, card),
+			})
+		}
+	}
+	sortSubgraphs(out)
+	return out
+}
+
+// Contains reports whether the given vertex set is currently maintained as an
+// explicitly indexed dense subgraph.
+func (e *Engine) Contains(c vset.Set) bool { return e.ix.HasDense(c) }
+
+// ValidateIndex checks the internal consistency of the dense-subgraph index
+// and, additionally, that every stored score matches the graph. It returns
+// "" when consistent; it is intended for tests and debugging.
+func (e *Engine) ValidateIndex() string {
+	if msg := e.ix.Validate(); msg != "" {
+		return msg
+	}
+	for _, n := range e.ix.DenseNodes() {
+		c := n.Set()
+		want := e.g.Score(c)
+		if diff := n.Score() - want; diff > 1e-6 || diff < -1e-6 {
+			return "stored score drift for " + c.String()
+		}
+		if !e.th.IsDense(n.Score(), c.Len()) {
+			return "indexed subgraph is not dense: " + c.String()
+		}
+	}
+	return ""
+}
+
+func sortSubgraphs(s []Subgraph) {
+	sort.Slice(s, func(i, j int) bool {
+		if s[i].Density != s[j].Density {
+			return s[i].Density > s[j].Density
+		}
+		if s[i].Set.Len() != s[j].Set.Len() {
+			return s[i].Set.Len() < s[j].Set.Len()
+		}
+		return s[i].Set.Key() < s[j].Set.Key()
+	})
+}

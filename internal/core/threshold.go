@@ -1,0 +1,172 @@
+package core
+
+import (
+	"errors"
+
+	"dyndens/internal/density"
+	"dyndens/internal/graph"
+	"dyndens/internal/vset"
+)
+
+// ErrSameThreshold is returned by SetThreshold when the new threshold equals
+// the current one.
+var ErrSameThreshold = errors.New("core: new threshold equals the current threshold")
+
+// SetThreshold performs the dynamic threshold-adjustment procedure of
+// Section 6 (Algorithms 3 and 4): it changes the output-density threshold T
+// at runtime without recomputing the index from scratch, rescaling δ_it
+// proportionally, and returns the resulting changes to the output-dense set.
+//
+// Increasing the threshold scans the index once, evicting subgraphs that are
+// no longer dense and reporting subgraphs that are no longer output-dense.
+// Decreasing the threshold first considers every edge of the graph as a
+// potential newly-dense seed, then explores around every indexed dense
+// subgraph to discover subgraphs that became dense under the lower schedule.
+func (e *Engine) SetThreshold(newT float64) ([]Event, error) {
+	oldTh := e.th
+	if newT == oldTh.T {
+		return nil, ErrSameThreshold
+	}
+	newTh, err := oldTh.WithThreshold(newT)
+	if err != nil {
+		return nil, err
+	}
+	e.events = nil
+	e.ix.BeginUpdate()
+	if newT > oldTh.T {
+		e.increaseThreshold(newTh)
+	} else {
+		e.decreaseThreshold(newTh)
+	}
+	e.cfg.T = newT
+	e.cfg.DeltaIt = newTh.DeltaIt
+	e.stats.Events += uint64(len(e.events))
+	if n := e.ix.NodeCount(); n > e.stats.MaxIndexNodes {
+		e.stats.MaxIndexNodes = n
+	}
+	return e.events, nil
+}
+
+// increaseThreshold implements Algorithm 3, lines 2–4.
+func (e *Engine) increaseThreshold(newTh *density.Thresholds) {
+	oldTh := e.th
+	e.th = newTh
+	for _, node := range e.ix.DenseNodes() {
+		if !node.Dense() {
+			continue
+		}
+		c := node.Set()
+		n := c.Len()
+		score := node.Score()
+		wasOutput := oldTh.IsOutputDense(score, n)
+		if !newTh.IsDense(score, n) {
+			if wasOutput {
+				e.emit(CeasedOutputDense, c, score)
+			}
+			e.ix.EvictDense(node)
+			e.stats.Evictions++
+			continue
+		}
+		if wasOutput && !newTh.IsOutputDense(score, n) {
+			e.emit(CeasedOutputDense, c, score)
+		}
+		if e.ix.HasStar(node) && !newTh.IsTooDense(score, n) {
+			e.ix.RemoveStar(node)
+		}
+	}
+}
+
+// decreaseThreshold implements Algorithm 3, lines 5–9.
+func (e *Engine) decreaseThreshold(newTh *density.Thresholds) {
+	oldTh := e.th
+	e.th = newTh
+	// Pre-existing dense subgraphs: they all remain dense under the lower
+	// schedule. Report the ones that just became output-dense, refresh their
+	// ImplicitTooDense status, and remember whether they were too-dense under
+	// the old schedule (Algorithm 4's guard).
+	existing := e.ix.DenseNodes()
+	wasTooDense := make([]bool, len(existing))
+	for i, node := range existing {
+		c := node.Set()
+		n := c.Len()
+		score := node.Score()
+		wasTooDense[i] = oldTh.IsTooDense(score, n)
+		if !oldTh.IsOutputDense(score, n) && newTh.IsOutputDense(score, n) {
+			e.emit(BecameOutputDense, c, score)
+		}
+		e.maintainStar(node, score, n)
+	}
+	// Base case (Algorithm 3, lines 6–7): every edge of the graph may now be a
+	// dense subgraph of cardinality 2.
+	e.g.Edges(func(u, v graph.Vertex, w float64) {
+		if !newTh.IsDense(w, 2) {
+			return
+		}
+		pair := vset.New(u, v)
+		if e.ix.HasDense(pair) {
+			return
+		}
+		e.thresholdAdmit(pair, w)
+	})
+	// Explore around every previously indexed dense subgraph (Algorithm 3,
+	// lines 8–9). Newly admitted subgraphs are explored recursively as part of
+	// thresholdAdmit, mirroring UpdateExplore's stop-at-stable-dense rule.
+	for i, node := range existing {
+		if !node.Dense() {
+			continue
+		}
+		e.updateExplore(node.Set(), node.Score(), wasTooDense[i])
+	}
+}
+
+// thresholdAdmit inserts a subgraph discovered to be dense during a threshold
+// decrease, reports it if output-dense, and explores around it (Algorithm 4).
+func (e *Engine) thresholdAdmit(c vset.Set, score float64) {
+	node := e.ix.InsertDense(c, score)
+	e.stats.Insertions++
+	n := c.Len()
+	if e.th.IsOutputDense(score, n) {
+		e.emit(BecameOutputDense, c, score)
+	}
+	e.maintainStar(node, score, n)
+	e.updateExplore(c, score, false)
+}
+
+// updateExplore is Algorithm 4 (UpdateExplore): augment a dense subgraph with
+// one vertex, recursing on newly-dense results. Unlike the per-update
+// exploration there is no ceil(δ/δ_it) iteration bound — recursion stops when
+// only stable-dense (already indexed) supergraphs remain or Nmax is reached.
+// wasTooDense reports whether the subgraph was too-dense under the schedule
+// in force before the threshold change; such subgraphs need not be explored.
+func (e *Engine) updateExplore(c vset.Set, score float64, wasTooDense bool) {
+	n := c.Len()
+	if wasTooDense || n >= e.th.Nmax {
+		return
+	}
+	if e.th.IsTooDense(score, n) && e.cfg.DisableImplicitTooDense {
+		e.stats.ExploreAll++
+		for _, y := range e.g.Vertices() {
+			if c.Contains(y) {
+				continue
+			}
+			child := c.Add(y)
+			if e.ix.HasDense(child) {
+				continue
+			}
+			e.thresholdAdmit(child, score+e.g.ScoreWith(c, y))
+		}
+		return
+	}
+	e.stats.Explorations++
+	for y, add := range e.g.NeighborhoodScores(c) {
+		childScore := score + add
+		if !e.th.IsDense(childScore, n+1) {
+			continue
+		}
+		child := c.Add(y)
+		if e.ix.HasDense(child) {
+			continue
+		}
+		e.thresholdAdmit(child, childScore)
+	}
+}

@@ -1,0 +1,333 @@
+// Package density defines subgraph density measures and the per-cardinality
+// threshold schedule that DynDens maintains dense subgraphs against.
+//
+// A subgraph C has density dens(C) = score(C) / S(|C|), where score(C) is the
+// total internal edge weight and S(n) quantifies the relative importance of
+// cardinality. The paper requires the monotonicity property
+//
+//	n/(n-1) ≤ S(n)/S(n-1) ≤ n/(n-2)
+//
+// which all instantiations here satisfy. The normalised form g(n) =
+// S(n)/(n(n-1)) is non-increasing in n.
+//
+// DynDens maintains all subgraphs with dens(C) ≥ T_{|C|}, where T_n is the
+// threshold schedule of Eq. 8 of the paper, parameterised by the user density
+// threshold T, the maximum cardinality Nmax and the tuning knob δ_it. T_Nmax
+// equals T and T_n·g_n is strictly increasing in n, which yields the growth
+// property the algorithm relies on.
+package density
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Measure is a cardinality-normalisation function S_n defining a notion of
+// graph density dens(C) = score(C)/S(|C|).
+type Measure interface {
+	// Name returns a short identifier (used in experiment output).
+	Name() string
+	// S returns S(n) for n ≥ 2. Implementations may return arbitrary values
+	// for n < 2; callers never ask.
+	S(n int) float64
+}
+
+// G returns the normalised measure g(n) = S(n)/(n·(n-1)).
+func G(m Measure, n int) float64 {
+	return m.S(n) / (float64(n) * float64(n-1))
+}
+
+// Density returns score/S(n), the density of a subgraph with the given
+// internal score and cardinality. It returns 0 for n < 2.
+func Density(m Measure, score float64, n int) float64 {
+	if n < 2 {
+		return 0
+	}
+	return score / m.S(n)
+}
+
+// Built-in measures from the paper.
+
+type avgWeight struct{}
+
+// AvgWeight is S_n = n(n-1)/2: density is the average edge weight, favouring
+// small, well-connected subgraphs.
+var AvgWeight Measure = avgWeight{}
+
+func (avgWeight) Name() string    { return "AvgWeight" }
+func (avgWeight) S(n int) float64 { return float64(n) * float64(n-1) / 2 }
+
+type avgDegree struct{}
+
+// AvgDegree is S_n = n: density is a generalised average node degree,
+// favouring large subgraphs.
+var AvgDegree Measure = avgDegree{}
+
+func (avgDegree) Name() string    { return "AvgDegree" }
+func (avgDegree) S(n int) float64 { return float64(n) }
+
+type sqrtDens struct{}
+
+// SqrtDens is S_n = sqrt(n(n-1)), lying between AvgWeight and AvgDegree.
+var SqrtDens Measure = sqrtDens{}
+
+func (sqrtDens) Name() string    { return "SqrtDens" }
+func (sqrtDens) S(n int) float64 { return math.Sqrt(float64(n) * float64(n-1)) }
+
+// Custom wraps an arbitrary S_n function. ValidateMeasure should be called on
+// the result to check the monotonicity requirements over the cardinality
+// range of interest.
+func Custom(name string, s func(n int) float64) Measure {
+	return customMeasure{name: name, s: s}
+}
+
+type customMeasure struct {
+	name string
+	s    func(n int) float64
+}
+
+func (c customMeasure) Name() string    { return c.name }
+func (c customMeasure) S(n int) float64 { return c.s(n) }
+
+// ValidateMeasure checks the paper's monotonicity requirement
+// n/(n-1) ≤ S(n)/S(n-1) ≤ n/(n-2) for all 3 ≤ n ≤ nmax, plus positivity.
+func ValidateMeasure(m Measure, nmax int) error {
+	const eps = 1e-9
+	if nmax < 2 {
+		return fmt.Errorf("density: nmax must be ≥ 2, got %d", nmax)
+	}
+	if m.S(2) <= 0 {
+		return fmt.Errorf("density: %s has non-positive S(2)=%v", m.Name(), m.S(2))
+	}
+	for n := 3; n <= nmax; n++ {
+		sn, sn1 := m.S(n), m.S(n-1)
+		if sn <= 0 {
+			return fmt.Errorf("density: %s has non-positive S(%d)=%v", m.Name(), n, sn)
+		}
+		ratio := sn / sn1
+		lo := float64(n) / float64(n-1)
+		hi := float64(n) / float64(n-2)
+		if ratio < lo-eps || ratio > hi+eps {
+			return fmt.Errorf("density: %s violates monotonicity at n=%d: S(n)/S(n-1)=%.6f not in [%.6f, %.6f]",
+				m.Name(), n, ratio, lo, hi)
+		}
+	}
+	return nil
+}
+
+// Errors returned by NewThresholds.
+var (
+	ErrBadNmax      = errors.New("density: Nmax must be at least 2")
+	ErrBadThreshold = errors.New("density: threshold T must be positive")
+	ErrBadDeltaIt   = errors.New("density: delta_it outside its validity range")
+)
+
+// Thresholds is the instantiated threshold schedule T_n (Eq. 8) for a given
+// (Measure, T, Nmax, δ_it) combination, along with the classification
+// predicates used throughout DynDens.
+type Thresholds struct {
+	Measure Measure
+	T       float64 // output-density threshold (= T_Nmax)
+	Nmax    int     // maximum cardinality of subgraphs of interest
+	DeltaIt float64 // δ_it: tunable space/time trade-off parameter
+
+	// tn[n] caches T_n for 2 ≤ n ≤ Nmax; sn[n] caches S(n); minScore[n]
+	// caches S(n)·T_n, the minimum score for a dense subgraph of cardinality n.
+	tn       []float64
+	sn       []float64
+	minScore []float64
+}
+
+// MaxDeltaIt returns the upper end of the validity range for δ_it given a
+// measure, threshold and Nmax (Section 4.1.3):
+//
+//	δ_it < S(Nmax)·T / (Nmax·(Nmax−2))  =  g(Nmax)·T·(Nmax−1)/(Nmax−2)
+//
+// For Nmax = 2 every positive δ_it is valid and +Inf is returned.
+func MaxDeltaIt(m Measure, t float64, nmax int) float64 {
+	if nmax <= 2 {
+		return math.Inf(1)
+	}
+	return m.S(nmax) * t / (float64(nmax) * float64(nmax-2))
+}
+
+// NewThresholds validates the parameters and precomputes the schedule.
+// deltaIt must lie in (0, MaxDeltaIt); the paper recommends values well below
+// the upper end (its experiments use 1%–50% of the maximum).
+func NewThresholds(m Measure, t float64, nmax int, deltaIt float64) (*Thresholds, error) {
+	if nmax < 2 {
+		return nil, ErrBadNmax
+	}
+	if t <= 0 {
+		return nil, ErrBadThreshold
+	}
+	if err := ValidateMeasure(m, nmax); err != nil {
+		return nil, err
+	}
+	if deltaIt <= 0 || deltaIt >= MaxDeltaIt(m, t, nmax) {
+		return nil, fmt.Errorf("%w: δ_it=%v, valid range (0, %v)", ErrBadDeltaIt, deltaIt, MaxDeltaIt(m, t, nmax))
+	}
+	th := &Thresholds{Measure: m, T: t, Nmax: nmax, DeltaIt: deltaIt}
+	th.precompute()
+	// Sanity: every T_n must be positive and the growth property
+	// T_n·g_n > T_{n-1}·g_{n-1} must hold.
+	for n := 2; n <= nmax; n++ {
+		if th.tn[n] <= 0 {
+			return nil, fmt.Errorf("%w: T_%d = %v ≤ 0", ErrBadDeltaIt, n, th.tn[n])
+		}
+		if n > 2 && th.tn[n]*G(m, n) <= th.tn[n-1]*G(m, n-1) {
+			return nil, fmt.Errorf("density: growth property violated at n=%d (T_n·g_n not increasing)", n)
+		}
+	}
+	return th, nil
+}
+
+// MustThresholds is NewThresholds that panics on error; intended for tests
+// and examples with known-good parameters.
+func MustThresholds(m Measure, t float64, nmax int, deltaIt float64) *Thresholds {
+	th, err := NewThresholds(m, t, nmax, deltaIt)
+	if err != nil {
+		panic(err)
+	}
+	return th
+}
+
+func (th *Thresholds) precompute() {
+	m, t, nmax, dit := th.Measure, th.T, th.Nmax, th.DeltaIt
+	th.tn = make([]float64, nmax+2)
+	th.sn = make([]float64, nmax+2)
+	th.minScore = make([]float64, nmax+2)
+	gNmax := G(m, nmax)
+	tail := float64(nmax-2) / float64(nmax-1)
+	for n := 2; n <= nmax+1; n++ {
+		th.sn[n] = m.S(n)
+		gn := G(m, n)
+		tn := (gNmax*t + dit*(float64(n-2)/float64(n-1)-tail)) / gn
+		th.tn[n] = tn
+		th.minScore[n] = th.sn[n] * tn
+	}
+	// By construction T_Nmax = T exactly; pin it to avoid rounding drift.
+	th.tn[nmax] = t
+	th.minScore[nmax] = th.sn[nmax] * t
+}
+
+// Tn returns T_n, the density threshold for a subgraph of cardinality n to be
+// considered dense. Defined for 2 ≤ n ≤ Nmax+1 (the Nmax+1 value is used only
+// by the too-dense predicate).
+func (th *Thresholds) Tn(n int) float64 {
+	if n < 2 || n >= len(th.tn) {
+		return math.Inf(1)
+	}
+	return th.tn[n]
+}
+
+// S returns S(n) for the configured measure.
+func (th *Thresholds) S(n int) float64 {
+	if n >= 2 && n < len(th.sn) {
+		return th.sn[n]
+	}
+	return th.Measure.S(n)
+}
+
+// MinDenseScore returns S(n)·T_n, the minimum internal score for a subgraph
+// of cardinality n to be dense.
+func (th *Thresholds) MinDenseScore(n int) float64 {
+	if n < 2 || n >= len(th.minScore) {
+		return math.Inf(1)
+	}
+	return th.minScore[n]
+}
+
+// MinOutputScore returns S(n)·T, the minimum internal score for a subgraph of
+// cardinality n to be output-dense.
+func (th *Thresholds) MinOutputScore(n int) float64 {
+	if n < 2 {
+		return math.Inf(1)
+	}
+	return th.S(n) * th.T
+}
+
+// Density returns score/S(n) under the configured measure.
+func (th *Thresholds) Density(score float64, n int) float64 {
+	return Density(th.Measure, score, n)
+}
+
+// NormDensity returns normDens(C) = dens(C)/T_{|C|}; a subgraph is dense iff
+// its normalised density is at least 1 (footnote 2 of the paper).
+func (th *Thresholds) NormDensity(score float64, n int) float64 {
+	if n < 2 || n > th.Nmax {
+		return 0
+	}
+	return score / th.MinDenseScore(n)
+}
+
+// IsDense reports whether a subgraph of cardinality n with the given score is
+// dense: dens ≥ T_n and n ≤ Nmax. The comparison uses a tiny relative epsilon
+// so that scores assembled through different summation orders classify
+// identically.
+func (th *Thresholds) IsDense(score float64, n int) bool {
+	if n < 2 || n > th.Nmax {
+		return false
+	}
+	return geq(score, th.minScore[n])
+}
+
+// IsOutputDense reports whether a subgraph of cardinality n with the given
+// score is output-dense: dens ≥ T and n ≤ Nmax.
+func (th *Thresholds) IsOutputDense(score float64, n int) bool {
+	if n < 2 || n > th.Nmax {
+		return false
+	}
+	return geq(score, th.S(n)*th.T)
+}
+
+// IsTooDense reports whether a subgraph of cardinality n with the given score
+// is "too-dense": augmenting it with any vertex, even one disconnected from
+// it, yields a dense subgraph, i.e. score(C) ≥ S(n+1)·T_{n+1}. (See DESIGN.md
+// §4: this is the property Explore-All relies on; it is slightly stricter
+// than the shorthand used in Table 1 of the paper.) Subgraphs of cardinality
+// Nmax are never too-dense because their supergraphs exceed the cardinality
+// constraint.
+func (th *Thresholds) IsTooDense(score float64, n int) bool {
+	if n < 2 || n >= th.Nmax {
+		return false
+	}
+	return geq(score, th.minScore[n+1])
+}
+
+// Iterations returns the number of exploration iterations DynDens must
+// perform for a positive update of magnitude delta: ceil(delta/δ_it),
+// and at least 1 (Section 4.1.4).
+func (th *Thresholds) Iterations(delta float64) int {
+	if delta <= 0 {
+		return 0
+	}
+	it := int(math.Ceil(delta / th.DeltaIt))
+	if it < 1 {
+		it = 1
+	}
+	return it
+}
+
+// WithThreshold returns a new schedule identical to th except for the output
+// threshold, with δ_it rescaled proportionally as in Algorithm 3 (line 1) of
+// the paper. It is used by the dynamic threshold-update procedure.
+func (th *Thresholds) WithThreshold(newT float64) (*Thresholds, error) {
+	scaled := th.DeltaIt * newT / th.T
+	return NewThresholds(th.Measure, newT, th.Nmax, scaled)
+}
+
+// String summarises the schedule.
+func (th *Thresholds) String() string {
+	return fmt.Sprintf("thresholds{%s T=%.4g Nmax=%d δit=%.4g}", th.Measure.Name(), th.T, th.Nmax, th.DeltaIt)
+}
+
+// geq is a tolerant ≥ for score comparisons: score ≥ bound up to a relative
+// epsilon. Bounds are products of user parameters, scores are running sums of
+// weights; without the tolerance, subgraphs whose density sits exactly on a
+// threshold could classify differently depending on summation order.
+func geq(score, bound float64) bool {
+	const eps = 1e-9
+	return score >= bound-eps*math.Max(1, math.Abs(bound))
+}

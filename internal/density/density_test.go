@@ -1,0 +1,258 @@
+package density
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestBuiltinMeasuresS(t *testing.T) {
+	cases := []struct {
+		m    Measure
+		n    int
+		want float64
+	}{
+		{AvgWeight, 2, 1}, {AvgWeight, 4, 6}, {AvgWeight, 5, 10},
+		{AvgDegree, 2, 2}, {AvgDegree, 7, 7},
+		{SqrtDens, 2, math.Sqrt(2)}, {SqrtDens, 4, math.Sqrt(12)},
+	}
+	for _, c := range cases {
+		if got := c.m.S(c.n); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("%s.S(%d) = %v, want %v", c.m.Name(), c.n, got, c.want)
+		}
+	}
+}
+
+func TestValidateMeasureAcceptsBuiltins(t *testing.T) {
+	for _, m := range []Measure{AvgWeight, AvgDegree, SqrtDens} {
+		if err := ValidateMeasure(m, 20); err != nil {
+			t.Errorf("ValidateMeasure(%s) = %v", m.Name(), err)
+		}
+	}
+}
+
+func TestValidateMeasureRejectsCounterIntuitive(t *testing.T) {
+	// S_n = constant: removing a vertex from a clique increases density.
+	bad := Custom("const", func(n int) float64 { return 1 })
+	if err := ValidateMeasure(bad, 5); err == nil {
+		t.Error("constant S_n should be rejected")
+	}
+	// S_n growing too fast (n^3).
+	bad2 := Custom("cubic", func(n int) float64 { return float64(n * n * n) })
+	if err := ValidateMeasure(bad2, 5); err == nil {
+		t.Error("cubic S_n should be rejected")
+	}
+}
+
+func TestGIsNonIncreasing(t *testing.T) {
+	for _, m := range []Measure{AvgWeight, AvgDegree, SqrtDens} {
+		for n := 3; n <= 15; n++ {
+			if G(m, n) > G(m, n-1)+1e-12 {
+				t.Errorf("%s: g(%d)=%v > g(%d)=%v", m.Name(), n, G(m, n), n-1, G(m, n-1))
+			}
+		}
+	}
+}
+
+func TestNewThresholdsValidation(t *testing.T) {
+	if _, err := NewThresholds(AvgWeight, 1.0, 1, 0.1); err == nil {
+		t.Error("Nmax=1 should be rejected")
+	}
+	if _, err := NewThresholds(AvgWeight, 0, 5, 0.1); err == nil {
+		t.Error("T=0 should be rejected")
+	}
+	if _, err := NewThresholds(AvgWeight, 1.0, 5, 0); err == nil {
+		t.Error("δit=0 should be rejected")
+	}
+	if _, err := NewThresholds(AvgWeight, 1.0, 5, MaxDeltaIt(AvgWeight, 1.0, 5)*2); err == nil {
+		t.Error("δit above maximum should be rejected")
+	}
+	if _, err := NewThresholds(AvgWeight, 1.0, 5, MaxDeltaIt(AvgWeight, 1.0, 5)*0.3); err != nil {
+		t.Errorf("valid parameters rejected: %v", err)
+	}
+}
+
+// The execution example of Section 3.1 uses AvgWeight, T = 1, Nmax = 4 and
+// the schedule T_2 = 0.9, T_3 = 0.975, T_4 = 1. Under the literal Eq. 8 this
+// schedule corresponds to δ_it = 0.075 (the example quotes 0.15, which matches
+// the S_n = n(n−1) convention; see DESIGN.md §4).
+func TestPaperExecutionExampleSchedule(t *testing.T) {
+	th := MustThresholds(AvgWeight, 1.0, 4, 0.075)
+	want := map[int]float64{2: 0.9, 3: 0.975, 4: 1.0}
+	for n, w := range want {
+		if got := th.Tn(n); math.Abs(got-w) > 1e-9 {
+			t.Errorf("T_%d = %v, want %v", n, got, w)
+		}
+	}
+}
+
+// The closed forms of Section 4.1.3: for S_n = n,
+// T_n = (n-1)/(Nmax-1)·(T+δit) − δit; for S_n = n(n-1) (scaled AvgWeight),
+// T_n = T − δit·(1/(n−1) − 1/(Nmax−1)).
+func TestClosedFormSchedules(t *testing.T) {
+	const T, dit = 2.0, 0.05
+	nmax := 8
+	thDeg := MustThresholds(AvgDegree, T, nmax, dit)
+	for n := 2; n <= nmax; n++ {
+		want := float64(n-1)/float64(nmax-1)*(T+dit) - dit
+		if got := thDeg.Tn(n); math.Abs(got-want) > 1e-9 {
+			t.Errorf("AvgDegree T_%d = %v, want %v", n, got, want)
+		}
+	}
+	pair := Custom("pairs", func(n int) float64 { return float64(n) * float64(n-1) })
+	thPair := MustThresholds(pair, T, nmax, dit)
+	for n := 2; n <= nmax; n++ {
+		want := T - dit*(1/float64(n-1)-1/float64(nmax-1))
+		if got := thPair.Tn(n); math.Abs(got-want) > 1e-9 {
+			t.Errorf("pairs T_%d = %v, want %v", n, got, want)
+		}
+	}
+}
+
+func TestTnMonotonicityAndGrowthProperty(t *testing.T) {
+	for _, m := range []Measure{AvgWeight, AvgDegree, SqrtDens} {
+		for _, T := range []float64{0.5, 1.0, 1.7} {
+			for _, nmax := range []int{4, 6, 10} {
+				max := MaxDeltaIt(m, T, nmax)
+				for _, frac := range []float64{0.01, 0.2, 0.5, 0.9} {
+					th, err := NewThresholds(m, T, nmax, frac*max)
+					if err != nil {
+						t.Fatalf("%s T=%v nmax=%d frac=%v: %v", m.Name(), T, nmax, frac, err)
+					}
+					if math.Abs(th.Tn(nmax)-T) > 1e-9 {
+						t.Errorf("%s: T_Nmax = %v, want %v", m.Name(), th.Tn(nmax), T)
+					}
+					for n := 3; n <= nmax; n++ {
+						if th.Tn(n) < th.Tn(n-1)-1e-9 {
+							t.Errorf("%s: T_n not non-decreasing at n=%d: %v < %v", m.Name(), n, th.Tn(n), th.Tn(n-1))
+						}
+						gn, gn1 := G(m, n), G(m, n-1)
+						if th.Tn(n)*gn <= th.Tn(n-1)*gn1 {
+							t.Errorf("%s: growth property fails at n=%d", m.Name(), n)
+						}
+						if th.Tn(n) <= 0 {
+							t.Errorf("%s: T_%d = %v ≤ 0", m.Name(), n, th.Tn(n))
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestClassificationPredicates(t *testing.T) {
+	th := MustThresholds(AvgWeight, 1.0, 4, 0.075)
+	// Cardinality 2: dense iff score ≥ 0.9, output-dense iff ≥ 1.0,
+	// too-dense iff score ≥ S(3)·T_3 = 3·0.975 = 2.925.
+	if !th.IsDense(0.9, 2) || th.IsDense(0.89, 2) {
+		t.Error("IsDense at n=2 misclassifies")
+	}
+	if !th.IsOutputDense(1.0, 2) || th.IsOutputDense(0.99, 2) {
+		t.Error("IsOutputDense at n=2 misclassifies")
+	}
+	if !th.IsTooDense(2.925, 2) || th.IsTooDense(2.9, 2) {
+		t.Error("IsTooDense at n=2 misclassifies")
+	}
+	// Cardinality above Nmax is never dense.
+	if th.IsDense(100, 5) || th.IsOutputDense(100, 5) {
+		t.Error("cardinality above Nmax should never be dense")
+	}
+	// Cardinality Nmax is never too-dense.
+	if th.IsTooDense(1e9, 4) {
+		t.Error("cardinality Nmax should never be too-dense")
+	}
+	// Singletons are never dense.
+	if th.IsDense(10, 1) {
+		t.Error("singleton should never be dense")
+	}
+}
+
+func TestNormDensity(t *testing.T) {
+	th := MustThresholds(AvgWeight, 1.0, 4, 0.075)
+	if got := th.NormDensity(0.9, 2); math.Abs(got-1.0) > 1e-9 {
+		t.Errorf("NormDensity(0.9, 2) = %v, want 1", got)
+	}
+	if got := th.NormDensity(1.95, 3); math.Abs(got-1.95/(3*0.975)) > 1e-9 {
+		t.Errorf("NormDensity(1.95, 3) = %v", got)
+	}
+	if th.NormDensity(1, 1) != 0 || th.NormDensity(1, 5) != 0 {
+		t.Error("NormDensity outside [2, Nmax] should be 0")
+	}
+}
+
+func TestIterations(t *testing.T) {
+	th := MustThresholds(AvgWeight, 1.0, 4, 0.075)
+	cases := []struct {
+		delta float64
+		want  int
+	}{
+		{-0.5, 0}, {0, 0}, {0.05, 1}, {0.075, 1}, {0.08, 2}, {0.151, 3},
+	}
+	for _, c := range cases {
+		if got := th.Iterations(c.delta); got != c.want {
+			t.Errorf("Iterations(%v) = %d, want %d", c.delta, got, c.want)
+		}
+	}
+}
+
+func TestWithThresholdRescalesDeltaIt(t *testing.T) {
+	th := MustThresholds(AvgWeight, 1.0, 6, 0.05)
+	th2, err := th.WithThreshold(0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(th2.DeltaIt-0.04) > 1e-12 {
+		t.Errorf("δit after rescale = %v, want 0.04", th2.DeltaIt)
+	}
+	if math.Abs(th2.Tn(th2.Nmax)-0.8) > 1e-12 {
+		t.Errorf("new T_Nmax = %v, want 0.8", th2.Tn(th2.Nmax))
+	}
+}
+
+// Property (Section 4.1.2 with Eq. 8): the single-exploration sufficiency
+// bound (n−2)(n−1)(g_n·T_n − g_{n−1}·T_{n−1}) simplifies to exactly δ_it for
+// every n, measure, and parameter choice.
+func TestSingleIterationBoundEqualsDeltaIt(t *testing.T) {
+	f := func(tRaw, ditRaw float64, nmaxRaw uint8, which uint8) bool {
+		T := 0.2 + math.Mod(math.Abs(tRaw), 3.0)
+		nmax := 3 + int(nmaxRaw%8)
+		var m Measure
+		switch which % 3 {
+		case 0:
+			m = AvgWeight
+		case 1:
+			m = AvgDegree
+		default:
+			m = SqrtDens
+		}
+		dit := (0.01 + 0.9*math.Mod(math.Abs(ditRaw), 1.0)) * MaxDeltaIt(m, T, nmax)
+		th, err := NewThresholds(m, T, nmax, dit)
+		if err != nil {
+			return true // out-of-range parameter combination; skip
+		}
+		for n := 3; n <= nmax; n++ {
+			bound := float64(n-2) * float64(n-1) * (G(m, n)*th.Tn(n) - G(m, n-1)*th.Tn(n-1))
+			if math.Abs(bound-dit) > 1e-6*math.Max(1, dit) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: MinDenseScore is consistent with IsDense at the boundary.
+func TestMinDenseScoreBoundary(t *testing.T) {
+	th := MustThresholds(SqrtDens, 0.7, 7, 0.02)
+	for n := 2; n <= 7; n++ {
+		s := th.MinDenseScore(n)
+		if !th.IsDense(s, n) {
+			t.Errorf("score exactly at MinDenseScore(%d) not dense", n)
+		}
+		if th.IsDense(s*(1-1e-6)-1e-6, n) {
+			t.Errorf("score clearly below MinDenseScore(%d) classified dense", n)
+		}
+	}
+}

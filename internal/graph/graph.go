@@ -1,0 +1,280 @@
+// Package graph implements the evolving weighted entity graph that DynDens
+// maintains dense subgraphs over.
+//
+// The paper models the domain as a complete weighted graph over a fixed set
+// of N vertices whose edge weights change over time; edges with weight zero
+// are simply absent from the adjacency lists. The graph index required by
+// DynDens (Section 3.2.1) is exactly this structure: per-vertex adjacency
+// lists (the neighbourhood vectors Γ_u) supporting efficient neighbourhood
+// merges when exploring a subgraph.
+package graph
+
+import (
+	"fmt"
+	"sort"
+
+	"dyndens/internal/vset"
+)
+
+// Vertex identifies a node of the graph.
+type Vertex = vset.Vertex
+
+// Update is a single streaming edge-weight update (a, b, δ): at some time
+// instant the weight of edge {a, b} changes from w to w+δ.
+type Update struct {
+	A, B  Vertex
+	Delta float64
+}
+
+// Graph is a weighted undirected graph with streaming edge-weight updates.
+// The zero value is not usable; call New.
+//
+// Graph is not safe for concurrent mutation; DynDens processes its update
+// stream sequentially (as in the paper). Concurrent readers are safe as long
+// as no Apply call is in flight.
+type Graph struct {
+	adj map[Vertex]map[Vertex]float64
+	// edgeCount tracks the number of edges with non-zero weight.
+	edgeCount int
+	// totalWeight tracks the sum of all positive edge weights (diagnostic).
+	totalWeight float64
+}
+
+// New returns an empty graph.
+func New() *Graph {
+	return &Graph{adj: make(map[Vertex]map[Vertex]float64)}
+}
+
+// Weight returns the current weight of edge {a, b}; absent edges have weight 0.
+func (g *Graph) Weight(a, b Vertex) float64 {
+	if a == b {
+		return 0
+	}
+	return g.adj[a][b]
+}
+
+// HasEdge reports whether edge {a, b} currently has non-zero weight.
+func (g *Graph) HasEdge(a, b Vertex) bool {
+	_, ok := g.adj[a][b]
+	return ok
+}
+
+// Degree returns the number of neighbours of u with non-zero edge weight.
+func (g *Graph) Degree(u Vertex) int { return len(g.adj[u]) }
+
+// NumEdges returns the number of edges with non-zero weight.
+func (g *Graph) NumEdges() int { return g.edgeCount }
+
+// NumVertices returns the number of vertices that currently have at least one
+// incident edge. (The paper's vertex set is fixed; vertices with no incident
+// edges never participate in dense subgraphs, so tracking them is unnecessary.)
+func (g *Graph) NumVertices() int { return len(g.adj) }
+
+// TotalWeight returns the sum of all edge weights (a diagnostic quantity used
+// by workload generators and tests).
+func (g *Graph) TotalWeight() float64 { return g.totalWeight }
+
+// Apply applies the edge-weight update (a, b, δ) and returns the previous and
+// new weight of the edge. Edges whose weight becomes ≤ 0 are removed (weights
+// are association strengths, which are non-negative for all measures used in
+// the paper); the new weight reported is then 0.
+func (g *Graph) Apply(u Update) (before, after float64) {
+	a, b := u.A, u.B
+	if a == b {
+		return 0, 0
+	}
+	before = g.adj[a][b]
+	after = before + u.Delta
+	if after <= 0 {
+		after = 0
+	}
+	g.setWeight(a, b, after)
+	return before, after
+}
+
+// SetWeight sets the weight of edge {a, b} to w (w ≤ 0 removes the edge).
+func (g *Graph) SetWeight(a, b Vertex, w float64) {
+	if a == b {
+		return
+	}
+	if w < 0 {
+		w = 0
+	}
+	g.setWeight(a, b, w)
+}
+
+func (g *Graph) setWeight(a, b Vertex, w float64) {
+	old, existed := g.adj[a][b]
+	if w == 0 {
+		if existed {
+			delete(g.adj[a], b)
+			delete(g.adj[b], a)
+			if len(g.adj[a]) == 0 {
+				delete(g.adj, a)
+			}
+			if len(g.adj[b]) == 0 {
+				delete(g.adj, b)
+			}
+			g.edgeCount--
+			g.totalWeight -= old
+		}
+		return
+	}
+	if g.adj[a] == nil {
+		g.adj[a] = make(map[Vertex]float64)
+	}
+	if g.adj[b] == nil {
+		g.adj[b] = make(map[Vertex]float64)
+	}
+	g.adj[a][b] = w
+	g.adj[b][a] = w
+	if !existed {
+		g.edgeCount++
+	}
+	g.totalWeight += w - old
+}
+
+// Neighbors calls fn for every neighbour of u with non-zero edge weight.
+// Iteration order is unspecified.
+func (g *Graph) Neighbors(u Vertex, fn func(v Vertex, w float64)) {
+	for v, w := range g.adj[u] {
+		fn(v, w)
+	}
+}
+
+// NeighborsSorted returns the neighbours of u in increasing vertex order,
+// together with the corresponding edge weights. It allocates; use Neighbors
+// in hot paths.
+func (g *Graph) NeighborsSorted(u Vertex) ([]Vertex, []float64) {
+	m := g.adj[u]
+	vs := make([]Vertex, 0, len(m))
+	for v := range m {
+		vs = append(vs, v)
+	}
+	sort.Slice(vs, func(i, j int) bool { return vs[i] < vs[j] })
+	ws := make([]float64, len(vs))
+	for i, v := range vs {
+		ws[i] = m[v]
+	}
+	return vs, ws
+}
+
+// Vertices returns all vertices with at least one incident edge, sorted.
+func (g *Graph) Vertices() []Vertex {
+	vs := make([]Vertex, 0, len(g.adj))
+	for v := range g.adj {
+		vs = append(vs, v)
+	}
+	sort.Slice(vs, func(i, j int) bool { return vs[i] < vs[j] })
+	return vs
+}
+
+// Score returns score(C) = Σ_{i,j ∈ C, i<j} w_ij, the total internal edge
+// weight of the subgraph induced by C.
+func (g *Graph) Score(c vset.Set) float64 {
+	var s float64
+	for i := 0; i < len(c); i++ {
+		ni := g.adj[c[i]]
+		if ni == nil {
+			continue
+		}
+		for j := i + 1; j < len(c); j++ {
+			s += ni[c[j]]
+		}
+	}
+	return s
+}
+
+// ScoreWith returns score(C ∪ {u}) - score(C) = Γ_u · c, the total weight of
+// edges between u and the vertices of C. If u ∈ C the result is the weight of
+// edges from u to the rest of C.
+func (g *Graph) ScoreWith(c vset.Set, u Vertex) float64 {
+	nu := g.adj[u]
+	if nu == nil {
+		return 0
+	}
+	var s float64
+	for _, v := range c {
+		if v == u {
+			continue
+		}
+		s += nu[v]
+	}
+	return s
+}
+
+// NeighborhoodScores merges the adjacency lists of the vertices of C and
+// returns, for every vertex y ∉ C adjacent to at least one vertex of C, the
+// value Γ_C · ê_y = Σ_{v∈C} w_vy. This is the quantity DynDens needs when
+// exploring C: score(C ∪ {y}) = score(C) + Γ_C·ê_y (Section 3.2.1, footnote 6).
+func (g *Graph) NeighborhoodScores(c vset.Set) map[Vertex]float64 {
+	out := make(map[Vertex]float64)
+	for _, v := range c {
+		for y, w := range g.adj[v] {
+			if c.Contains(y) {
+				continue
+			}
+			out[y] += w
+		}
+	}
+	return out
+}
+
+// EdgesNotIncident calls fn for every edge {u, v} (u < v) such that neither
+// endpoint belongs to C. DynDens needs this only in the rare case where an
+// implicitly represented too-dense supergraph C ∪ {*} must itself be explored
+// (Section 3.2.3).
+func (g *Graph) EdgesNotIncident(c vset.Set, fn func(u, v Vertex, w float64)) {
+	for u, nbrs := range g.adj {
+		if c.Contains(u) {
+			continue
+		}
+		for v, w := range nbrs {
+			if u >= v || c.Contains(v) {
+				continue
+			}
+			fn(u, v, w)
+		}
+	}
+}
+
+// Edges calls fn for every edge {u, v} with u < v and non-zero weight.
+func (g *Graph) Edges(fn func(u, v Vertex, w float64)) {
+	for u, nbrs := range g.adj {
+		for v, w := range nbrs {
+			if u < v {
+				fn(u, v, w)
+			}
+		}
+	}
+}
+
+// Clone returns a deep copy of the graph.
+func (g *Graph) Clone() *Graph {
+	out := New()
+	for u, nbrs := range g.adj {
+		m := make(map[Vertex]float64, len(nbrs))
+		for v, w := range nbrs {
+			m[v] = w
+		}
+		out.adj[u] = m
+	}
+	out.edgeCount = g.edgeCount
+	out.totalWeight = g.totalWeight
+	return out
+}
+
+// String summarises the graph.
+func (g *Graph) String() string {
+	return fmt.Sprintf("graph{vertices=%d edges=%d weight=%.3f}", g.NumVertices(), g.NumEdges(), g.totalWeight)
+}
+
+// AverageDegree returns the mean number of neighbours over vertices with at
+// least one incident edge (0 for the empty graph). The complexity analysis of
+// Section 4.2 is parameterised by this quantity.
+func (g *Graph) AverageDegree() float64 {
+	if len(g.adj) == 0 {
+		return 0
+	}
+	return 2 * float64(g.edgeCount) / float64(len(g.adj))
+}

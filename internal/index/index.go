@@ -1,0 +1,504 @@
+// Package index implements the in-memory dense-subgraph index used by
+// DynDens (Section 3.2.1 of the paper).
+//
+// Dense subgraphs are stored in a prefix tree: the path to a node is the
+// sorted vertex sequence of the subgraph it represents, so heavily
+// overlapping dense subgraphs share prefixes and memory. Every tree node is
+// additionally linked into the inverted list of its label vertex (embedded as
+// a doubly-linked list through the nodes themselves), which makes "iterate
+// every dense subgraph containing vertex u" a traversal of the subtrees
+// hanging off u's inverted list; because a subgraph's path visits u exactly
+// once, each dense subgraph is reported exactly once.
+//
+// The index also supports the ImplicitTooDense optimisation (Section 3.2.3):
+// a fictitious vertex '*' (lexicographically larger than every real vertex)
+// whose node under a too-dense subgraph C stands for every supergraph C∪{y}
+// with y disconnected from C, so that Explore-All does not have to insert
+// |V| subgraphs explicitly.
+package index
+
+import (
+	"math"
+
+	"dyndens/internal/vset"
+)
+
+// Vertex aliases the graph vertex type.
+type Vertex = vset.Vertex
+
+// Star is the fictitious vertex used by ImplicitTooDense. It compares larger
+// than any real vertex, as the paper requires.
+const Star Vertex = math.MaxInt32
+
+// Node is a prefix-tree node. A node represents the vertex set spelled out by
+// the path from the root; it carries subgraph information (score, density
+// bookkeeping) only when Dense() is true. Nodes are owned by the Index and
+// must not be retained across Evict calls.
+type Node struct {
+	label    Vertex
+	parent   *Node
+	children map[Vertex]*Node
+
+	dense bool
+	star  bool // this node is a '*' child: it represents parent.Set() ∪ {y} for disconnected y
+	score float64
+	depth int // cardinality of the represented set ('*' counts as one vertex)
+
+	// Embedded inverted-list linkage (per label vertex).
+	invPrev, invNext *Node
+
+	// iteration is the exploration-iteration annotation of Section 3.2.2,
+	// valid only while epoch matches the index's current update epoch.
+	iteration int
+	epoch     uint64
+}
+
+// Label returns the node's vertex label (Star for star nodes).
+func (n *Node) Label() Vertex { return n.label }
+
+// Dense reports whether the node currently represents a dense subgraph.
+func (n *Node) Dense() bool { return n.dense }
+
+// IsStar reports whether this is an ImplicitTooDense '*' node.
+func (n *Node) IsStar() bool { return n.star }
+
+// Score returns the stored internal edge-weight sum of the represented
+// subgraph. For star nodes this is the score of the base subgraph (adding a
+// disconnected vertex does not change the score).
+func (n *Node) Score() float64 { return n.score }
+
+// Card returns the cardinality of the represented vertex set. For star nodes
+// it is |base|+1.
+func (n *Node) Card() int { return n.depth }
+
+// Parent returns the parent node (nil for the root).
+func (n *Node) Parent() *Node { return n.parent }
+
+// Set reconstructs the represented vertex set by walking parent pointers.
+// For star nodes the Star vertex is omitted: the result is the base set.
+func (n *Node) Set() vset.Set {
+	depth := n.depth
+	if n.star {
+		depth--
+	}
+	out := make(vset.Set, depth)
+	i := depth - 1
+	for cur := n; cur != nil && cur.parent != nil; cur = cur.parent {
+		if cur.star {
+			continue
+		}
+		out[i] = cur.label
+		i--
+	}
+	return out
+}
+
+// Index is the dense-subgraph index. The zero value is not usable; call New.
+// It is not safe for concurrent use.
+type Index struct {
+	root  *Node
+	inv   map[Vertex]*Node // heads of per-vertex inverted lists
+	epoch uint64
+
+	denseCount int
+	starCount  int
+	nodeCount  int
+}
+
+// New returns an empty index.
+func New() *Index {
+	return &Index{
+		root: &Node{children: make(map[Vertex]*Node)},
+		inv:  make(map[Vertex]*Node),
+	}
+}
+
+// Len returns the number of explicitly indexed dense subgraphs.
+func (ix *Index) Len() int { return ix.denseCount }
+
+// StarCount returns the number of ImplicitTooDense families currently stored.
+func (ix *Index) StarCount() int { return ix.starCount }
+
+// NodeCount returns the total number of prefix-tree nodes (a memory proxy).
+func (ix *Index) NodeCount() int { return ix.nodeCount }
+
+// BeginUpdate starts a new update epoch, invalidating all exploration
+// iteration annotations from the previous update (Section 3.2.2).
+func (ix *Index) BeginUpdate() { ix.epoch++ }
+
+// Annotate records that node n was identified at exploration iteration it
+// during the current update.
+func (ix *Index) Annotate(n *Node, it int) {
+	n.iteration = it
+	n.epoch = ix.epoch
+}
+
+// Annotation returns the exploration iteration at which n was identified
+// during the current update, and whether such an annotation exists.
+func (ix *Index) Annotation(n *Node) (int, bool) {
+	if n.epoch == ix.epoch && ix.epoch != 0 {
+		return n.iteration, true
+	}
+	return 0, false
+}
+
+// Lookup returns the node representing c, or nil if no such node exists
+// (dense or not).
+func (ix *Index) Lookup(c vset.Set) *Node {
+	cur := ix.root
+	for _, v := range c {
+		cur = cur.children[v]
+		if cur == nil {
+			return nil
+		}
+	}
+	if cur == ix.root {
+		return nil
+	}
+	return cur
+}
+
+// LookupDense returns the node for c if c is explicitly indexed as dense.
+func (ix *Index) LookupDense(c vset.Set) *Node {
+	n := ix.Lookup(c)
+	if n == nil || !n.dense {
+		return nil
+	}
+	return n
+}
+
+// HasDense reports whether c is explicitly indexed as dense.
+func (ix *Index) HasDense(c vset.Set) bool { return ix.LookupDense(c) != nil }
+
+// ensure creates (if necessary) and returns the node for c.
+func (ix *Index) ensure(c vset.Set) *Node {
+	cur := ix.root
+	for _, v := range c {
+		next := cur.children[v]
+		if next == nil {
+			next = ix.newChild(cur, v)
+		}
+		cur = next
+	}
+	return cur
+}
+
+func (ix *Index) newChild(parent *Node, label Vertex) *Node {
+	n := &Node{
+		label:    label,
+		parent:   parent,
+		children: make(map[Vertex]*Node),
+		depth:    parent.depth + 1,
+	}
+	parent.children[label] = n
+	ix.nodeCount++
+	// Link at the head of label's inverted list.
+	head := ix.inv[label]
+	n.invNext = head
+	if head != nil {
+		head.invPrev = n
+	}
+	ix.inv[label] = n
+	return n
+}
+
+func (ix *Index) unlink(n *Node) {
+	if n.invPrev != nil {
+		n.invPrev.invNext = n.invNext
+	} else if ix.inv[n.label] == n {
+		if n.invNext == nil {
+			delete(ix.inv, n.label)
+		} else {
+			ix.inv[n.label] = n.invNext
+		}
+	}
+	if n.invNext != nil {
+		n.invNext.invPrev = n.invPrev
+	}
+	n.invPrev, n.invNext = nil, nil
+}
+
+// InsertDense marks c as a dense subgraph with the given score, creating
+// prefix-tree nodes as needed, and returns its node. If c is already dense
+// only its score is updated.
+func (ix *Index) InsertDense(c vset.Set, score float64) *Node {
+	n := ix.ensure(c)
+	if !n.dense {
+		n.dense = true
+		ix.denseCount++
+	}
+	n.score = score
+	return n
+}
+
+// SetScore overwrites the stored score of a dense or star node.
+func (ix *Index) SetScore(n *Node, score float64) { n.score = score }
+
+// AddScore adds delta to the stored score of a dense or star node and returns
+// the new value.
+func (ix *Index) AddScore(n *Node, delta float64) float64 {
+	n.score += delta
+	return n.score
+}
+
+// EvictDense removes the dense marking from node n and prunes any resulting
+// chain of childless, non-dense nodes (typically O(1), at worst O(|C|)).
+// Any '*' child of n is removed as well: the implicit family exists only
+// while its base is indexed.
+func (ix *Index) EvictDense(n *Node) {
+	if n == nil || !n.dense {
+		return
+	}
+	if starChild := n.children[Star]; starChild != nil {
+		ix.removeStarNode(starChild)
+	}
+	n.dense = false
+	ix.denseCount--
+	ix.prune(n)
+}
+
+func (ix *Index) prune(n *Node) {
+	for n != nil && n != ix.root && !n.dense && !n.star && len(n.children) == 0 {
+		parent := n.parent
+		delete(parent.children, n.label)
+		ix.unlink(n)
+		ix.nodeCount--
+		n.parent = nil
+		n = parent
+	}
+}
+
+// InsertStar records the ImplicitTooDense family for the dense node base:
+// every supergraph base ∪ {y} with y disconnected from base. It returns the
+// star node. Inserting twice is a no-op.
+func (ix *Index) InsertStar(base *Node) *Node {
+	if base == nil || !base.dense {
+		return nil
+	}
+	if existing := base.children[Star]; existing != nil {
+		existing.score = base.score
+		return existing
+	}
+	n := ix.newChild(base, Star)
+	n.star = true
+	n.score = base.score
+	ix.starCount++
+	return n
+}
+
+// RemoveStar removes the ImplicitTooDense family of base, if present.
+func (ix *Index) RemoveStar(base *Node) {
+	if base == nil {
+		return
+	}
+	if starChild := base.children[Star]; starChild != nil {
+		ix.removeStarNode(starChild)
+	}
+}
+
+func (ix *Index) removeStarNode(n *Node) {
+	n.star = false
+	ix.starCount--
+	ix.prune(n)
+}
+
+// HasStar reports whether base has an ImplicitTooDense family.
+func (ix *Index) HasStar(base *Node) bool {
+	return base != nil && base.children[Star] != nil
+}
+
+// StarOf returns the star node of base, or nil.
+func (ix *Index) StarOf(base *Node) *Node {
+	if base == nil {
+		return nil
+	}
+	return base.children[Star]
+}
+
+// ForEachDense calls fn for every explicitly indexed dense subgraph. If fn
+// returns false, iteration stops. The index must not be mutated during the
+// call; use DenseNodes for a mutation-safe snapshot.
+func (ix *Index) ForEachDense(fn func(n *Node) bool) {
+	ix.walk(ix.root, func(n *Node) bool {
+		if n.dense {
+			return fn(n)
+		}
+		return true
+	})
+}
+
+func (ix *Index) walk(n *Node, fn func(*Node) bool) bool {
+	for _, child := range n.children {
+		if child.star {
+			continue
+		}
+		if !fn(child) {
+			return false
+		}
+		if !ix.walk(child, fn) {
+			return false
+		}
+	}
+	return true
+}
+
+// DenseNodes returns a snapshot slice of all explicitly indexed dense nodes.
+func (ix *Index) DenseNodes() []*Node {
+	out := make([]*Node, 0, ix.denseCount)
+	ix.ForEachDense(func(n *Node) bool {
+		out = append(out, n)
+		return true
+	})
+	return out
+}
+
+// DenseContaining returns a snapshot of every explicitly indexed dense
+// subgraph that contains vertex u, each exactly once. It traverses the
+// subtrees rooted at the nodes on u's inverted list; since a set containing u
+// has exactly one ancestor-or-self node labelled u, no set is visited twice.
+func (ix *Index) DenseContaining(u Vertex) []*Node {
+	var out []*Node
+	for head := ix.inv[u]; head != nil; head = head.invNext {
+		if head.star {
+			continue
+		}
+		if head.dense {
+			out = append(out, head)
+		}
+		ix.walk(head, func(n *Node) bool {
+			if n.dense {
+				out = append(out, n)
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// DenseContainingEither returns a snapshot of every explicitly indexed dense
+// subgraph containing a or b (or both), each exactly once. This is the
+// iteration Algorithm 1 performs for a positive edge-weight update; the
+// traversal order follows Section 3.2.2: first the subtrees on b's inverted
+// list, then the subtrees on a's list with descent cut at nodes labelled b
+// (assuming a < b), so no subgraph is examined twice.
+func (ix *Index) DenseContainingEither(a, b Vertex) []*Node {
+	if a == b {
+		return ix.DenseContaining(a)
+	}
+	if a > b {
+		a, b = b, a
+	}
+	var out []*Node
+	collect := func(n *Node) bool {
+		if n.dense {
+			out = append(out, n)
+		}
+		return true
+	}
+	for head := ix.inv[b]; head != nil; head = head.invNext {
+		if head.star {
+			continue
+		}
+		collect(head)
+		ix.walk(head, collect)
+	}
+	// Subtrees under a's inverted list, stopping whenever a node labelled b is
+	// reached (those subgraphs contain b and were already collected above).
+	var walkCut func(n *Node) bool
+	walkCut = func(n *Node) bool {
+		for _, child := range n.children {
+			if child.star || child.label == b {
+				continue
+			}
+			collect(child)
+			walkCut(child)
+		}
+		return true
+	}
+	for head := ix.inv[a]; head != nil; head = head.invNext {
+		if head.star {
+			continue
+		}
+		collect(head)
+		walkCut(head)
+	}
+	return out
+}
+
+// StarNodes returns a snapshot of all ImplicitTooDense star nodes.
+func (ix *Index) StarNodes() []*Node {
+	var out []*Node
+	for head := ix.inv[Star]; head != nil; head = head.invNext {
+		if head.star {
+			out = append(out, head)
+		}
+	}
+	return out
+}
+
+// Validate checks internal invariants (counts, linkage, depth bookkeeping).
+// It is exported for tests; it returns the first violation found as a string,
+// or "" if the index is consistent.
+func (ix *Index) Validate() string {
+	dense, stars, nodes := 0, 0, 0
+	var walk func(n *Node, depth int) string
+	walk = func(n *Node, depth int) string {
+		for label, child := range n.children {
+			nodes++
+			if child.label != label {
+				return "child label mismatch"
+			}
+			if child.parent != n {
+				return "parent pointer mismatch"
+			}
+			if child.depth != depth+1 {
+				return "depth mismatch"
+			}
+			if child.dense {
+				dense++
+			}
+			if child.star {
+				stars++
+				if len(child.children) != 0 {
+					return "star node has children"
+				}
+			}
+			if !child.dense && !child.star && len(child.children) == 0 {
+				return "dangling childless node " + child.Set().String()
+			}
+			if msg := walk(child, depth+1); msg != "" {
+				return msg
+			}
+		}
+		return ""
+	}
+	if msg := walk(ix.root, 0); msg != "" {
+		return msg
+	}
+	if dense != ix.denseCount {
+		return "dense count mismatch"
+	}
+	if stars != ix.starCount {
+		return "star count mismatch"
+	}
+	if nodes != ix.nodeCount {
+		return "node count mismatch"
+	}
+	// Inverted lists must contain exactly the nodes with each label.
+	listed := 0
+	for label, head := range ix.inv {
+		for n := head; n != nil; n = n.invNext {
+			listed++
+			if n.label != label {
+				return "inverted list label mismatch"
+			}
+			if n.invNext != nil && n.invNext.invPrev != n {
+				return "inverted list back-pointer mismatch"
+			}
+		}
+	}
+	if listed != nodes {
+		return "inverted list node count mismatch"
+	}
+	return ""
+}

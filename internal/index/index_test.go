@@ -1,0 +1,327 @@
+package index
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"dyndens/internal/vset"
+)
+
+func keys(nodes []*Node) []string {
+	out := make([]string, 0, len(nodes))
+	for _, n := range nodes {
+		out = append(out, n.Set().Key())
+	}
+	sort.Strings(out)
+	return out
+}
+
+func TestInsertLookupEvict(t *testing.T) {
+	ix := New()
+	c := vset.New(1, 3, 4)
+	n := ix.InsertDense(c, 2.5)
+	if ix.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", ix.Len())
+	}
+	if got := ix.LookupDense(c); got != n {
+		t.Fatal("LookupDense did not return the inserted node")
+	}
+	if !n.Set().Equal(c) {
+		t.Fatalf("Set() = %v, want %v", n.Set(), c)
+	}
+	if n.Score() != 2.5 || n.Card() != 3 {
+		t.Fatalf("Score/Card = %v/%d", n.Score(), n.Card())
+	}
+	// Prefix {1,3} exists as an interior node but is not dense.
+	if ix.LookupDense(vset.New(1, 3)) != nil {
+		t.Fatal("prefix should not be dense")
+	}
+	if ix.Lookup(vset.New(1, 3)) == nil {
+		t.Fatal("prefix node should exist")
+	}
+	ix.EvictDense(n)
+	if ix.Len() != 0 {
+		t.Fatalf("Len after evict = %d", ix.Len())
+	}
+	if ix.Lookup(c) != nil {
+		t.Fatal("node should have been pruned")
+	}
+	if ix.NodeCount() != 0 {
+		t.Fatalf("NodeCount after evict = %d", ix.NodeCount())
+	}
+	if msg := ix.Validate(); msg != "" {
+		t.Fatal(msg)
+	}
+}
+
+func TestEvictKeepsSharedPrefixes(t *testing.T) {
+	ix := New()
+	a := ix.InsertDense(vset.New(1, 3), 1)
+	b := ix.InsertDense(vset.New(1, 3, 4), 2)
+	ix.InsertDense(vset.New(1, 3, 5), 2)
+	ix.EvictDense(b)
+	if ix.LookupDense(vset.New(1, 3, 4)) != nil {
+		t.Fatal("{1,3,4} should be gone")
+	}
+	if ix.LookupDense(vset.New(1, 3)) != a {
+		t.Fatal("{1,3} should still be dense")
+	}
+	if ix.LookupDense(vset.New(1, 3, 5)) == nil {
+		t.Fatal("{1,3,5} should still be dense")
+	}
+	// Evicting a dense interior node keeps the node because it has children.
+	ix.EvictDense(a)
+	if ix.Lookup(vset.New(1, 3)) == nil {
+		t.Fatal("{1,3} node must remain while {1,3,5} exists")
+	}
+	if msg := ix.Validate(); msg != "" {
+		t.Fatal(msg)
+	}
+}
+
+func TestInsertDenseTwiceUpdatesScore(t *testing.T) {
+	ix := New()
+	ix.InsertDense(vset.New(2, 7), 1.0)
+	n := ix.InsertDense(vset.New(2, 7), 1.5)
+	if ix.Len() != 1 || n.Score() != 1.5 {
+		t.Fatalf("Len=%d score=%v", ix.Len(), n.Score())
+	}
+}
+
+func TestScoreMutators(t *testing.T) {
+	ix := New()
+	n := ix.InsertDense(vset.New(1, 2), 1.0)
+	if got := ix.AddScore(n, 0.25); got != 1.25 {
+		t.Fatalf("AddScore = %v", got)
+	}
+	ix.SetScore(n, 3)
+	if n.Score() != 3 {
+		t.Fatalf("SetScore result = %v", n.Score())
+	}
+}
+
+func TestDenseContaining(t *testing.T) {
+	ix := New()
+	// Mirrors Figure 3 of the paper: dense subgraphs {1,3}, {1,3,4}, {1,3,5},
+	// {3,4,5}, {4,5}.
+	for _, c := range []vset.Set{
+		vset.New(1, 3), vset.New(1, 3, 4), vset.New(1, 3, 5), vset.New(3, 4, 5), vset.New(4, 5),
+	} {
+		ix.InsertDense(c, 1)
+	}
+	got := keys(ix.DenseContaining(3))
+	want := []string{"1,3", "1,3,4", "1,3,5", "3,4,5"}
+	if len(got) != len(want) {
+		t.Fatalf("DenseContaining(3) = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("DenseContaining(3) = %v, want %v", got, want)
+		}
+	}
+	if got := keys(ix.DenseContaining(5)); len(got) != 3 {
+		t.Fatalf("DenseContaining(5) = %v", got)
+	}
+	if got := ix.DenseContaining(99); len(got) != 0 {
+		t.Fatalf("DenseContaining(99) = %v", got)
+	}
+}
+
+func TestDenseContainingEitherNoDuplicates(t *testing.T) {
+	ix := New()
+	sets := []vset.Set{
+		vset.New(1, 3), vset.New(1, 3, 4), vset.New(1, 3, 5), vset.New(3, 4, 5),
+		vset.New(4, 5), vset.New(1, 4), vset.New(2, 3),
+	}
+	for _, c := range sets {
+		ix.InsertDense(c, 1)
+	}
+	got := keys(ix.DenseContainingEither(3, 4))
+	// Every inserted set containing 3 or 4, exactly once.
+	want := []string{"1,3", "1,3,4", "1,3,5", "1,4", "2,3", "3,4,5", "4,5"}
+	if len(got) != len(want) {
+		t.Fatalf("DenseContainingEither = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("DenseContainingEither = %v, want %v", got, want)
+		}
+	}
+	// Symmetric in argument order.
+	if len(ix.DenseContainingEither(4, 3)) != len(want) {
+		t.Fatal("DenseContainingEither not symmetric")
+	}
+}
+
+func TestStarNodes(t *testing.T) {
+	ix := New()
+	base := ix.InsertDense(vset.New(1, 3), 5)
+	star := ix.InsertStar(base)
+	if star == nil || !star.IsStar() {
+		t.Fatal("InsertStar failed")
+	}
+	if !ix.HasStar(base) || ix.StarOf(base) != star {
+		t.Fatal("HasStar/StarOf inconsistent")
+	}
+	if star.Card() != 3 || !star.Set().Equal(vset.New(1, 3)) {
+		t.Fatalf("star Card/Set = %d/%v", star.Card(), star.Set())
+	}
+	if ix.StarCount() != 1 {
+		t.Fatalf("StarCount = %d", ix.StarCount())
+	}
+	if got := len(ix.StarNodes()); got != 1 {
+		t.Fatalf("StarNodes len = %d", got)
+	}
+	// Idempotent.
+	if again := ix.InsertStar(base); again != star || ix.StarCount() != 1 {
+		t.Fatal("InsertStar not idempotent")
+	}
+	// Star nodes do not show up as dense subgraphs.
+	if ix.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", ix.Len())
+	}
+	for _, n := range ix.DenseContaining(1) {
+		if n.IsStar() {
+			t.Fatal("star node leaked into DenseContaining")
+		}
+	}
+	ix.RemoveStar(base)
+	if ix.StarCount() != 0 || ix.HasStar(base) {
+		t.Fatal("RemoveStar did not remove")
+	}
+	if msg := ix.Validate(); msg != "" {
+		t.Fatal(msg)
+	}
+}
+
+func TestEvictRemovesStarChild(t *testing.T) {
+	ix := New()
+	base := ix.InsertDense(vset.New(2, 6), 5)
+	ix.InsertStar(base)
+	ix.EvictDense(base)
+	if ix.StarCount() != 0 || ix.NodeCount() != 0 {
+		t.Fatalf("star/node count after evict = %d/%d", ix.StarCount(), ix.NodeCount())
+	}
+	if msg := ix.Validate(); msg != "" {
+		t.Fatal(msg)
+	}
+}
+
+func TestAnnotations(t *testing.T) {
+	ix := New()
+	n := ix.InsertDense(vset.New(1, 2), 1)
+	if _, ok := ix.Annotation(n); ok {
+		t.Fatal("annotation should not exist before BeginUpdate")
+	}
+	ix.BeginUpdate()
+	ix.Annotate(n, 2)
+	if it, ok := ix.Annotation(n); !ok || it != 2 {
+		t.Fatalf("Annotation = %d,%v", it, ok)
+	}
+	ix.BeginUpdate()
+	if _, ok := ix.Annotation(n); ok {
+		t.Fatal("annotation should reset at next update epoch")
+	}
+}
+
+func TestForEachDenseEarlyStop(t *testing.T) {
+	ix := New()
+	for i := Vertex(0); i < 10; i++ {
+		ix.InsertDense(vset.New(i, i+1), 1)
+	}
+	count := 0
+	ix.ForEachDense(func(n *Node) bool {
+		count++
+		return count < 3
+	})
+	if count != 3 {
+		t.Fatalf("early stop visited %d nodes", count)
+	}
+	if got := len(ix.DenseNodes()); got != 10 {
+		t.Fatalf("DenseNodes len = %d", got)
+	}
+}
+
+// Property: a random sequence of inserts and evicts keeps the index
+// consistent with a map-based model and passes Validate.
+func TestRandomOperationsAgainstModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 20; trial++ {
+		ix := New()
+		model := map[string]float64{}
+		for op := 0; op < 500; op++ {
+			// Random set of 2–5 vertices out of 12.
+			n := 2 + rng.Intn(4)
+			var c vset.Set
+			for len(c) < n {
+				c = c.Add(Vertex(rng.Intn(12)))
+			}
+			if rng.Float64() < 0.65 {
+				score := rng.Float64() * 10
+				ix.InsertDense(c, score)
+				model[c.Key()] = score
+			} else if node := ix.LookupDense(c); node != nil {
+				ix.EvictDense(node)
+				delete(model, c.Key())
+			}
+		}
+		if ix.Len() != len(model) {
+			t.Fatalf("trial %d: Len=%d model=%d", trial, ix.Len(), len(model))
+		}
+		if msg := ix.Validate(); msg != "" {
+			t.Fatalf("trial %d: %s", trial, msg)
+		}
+		for _, node := range ix.DenseNodes() {
+			want, ok := model[node.Set().Key()]
+			if !ok {
+				t.Fatalf("trial %d: unexpected dense %v", trial, node.Set())
+			}
+			if node.Score() != want {
+				t.Fatalf("trial %d: score mismatch for %v", trial, node.Set())
+			}
+		}
+		// Containment queries agree with the model.
+		for u := Vertex(0); u < 12; u++ {
+			got := keys(ix.DenseContaining(u))
+			var want []string
+			for k := range model {
+				if vsetFromKeyContains(k, u) {
+					want = append(want, k)
+				}
+			}
+			sort.Strings(want)
+			if len(got) != len(want) {
+				t.Fatalf("trial %d: DenseContaining(%d) size %d want %d", trial, u, len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("trial %d: DenseContaining(%d) mismatch", trial, u)
+				}
+			}
+		}
+	}
+}
+
+func vsetFromKeyContains(key string, u Vertex) bool {
+	var c vset.Set
+	cur := 0
+	neg := false
+	for i := 0; i <= len(key); i++ {
+		if i == len(key) || key[i] == ',' {
+			v := cur
+			if neg {
+				v = -v
+			}
+			c = c.Add(Vertex(v))
+			cur, neg = 0, false
+			continue
+		}
+		if key[i] == '-' {
+			neg = true
+			continue
+		}
+		cur = cur*10 + int(key[i]-'0')
+	}
+	return c.Contains(u)
+}

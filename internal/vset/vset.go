@@ -1,0 +1,232 @@
+// Package vset provides small, sorted, immutable vertex sets and the set
+// algebra the DynDens index and exploration procedures need.
+//
+// Vertex identifiers are int32 (the paper denotes vertices by natural
+// numbers). Sets are stored as strictly increasing slices, which makes the
+// canonical prefix-tree path of a set simply the sequence of its elements,
+// and gives O(n) membership checks and merges on the tiny sets (|C| ≤ Nmax)
+// DynDens manipulates.
+package vset
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Vertex identifies a node of the entity graph.
+type Vertex = int32
+
+// Set is a sorted, duplicate-free collection of vertices. The zero value is
+// the empty set. Sets are treated as immutable: mutating operations return a
+// new Set and never alias the receiver's backing array in a way that could be
+// observed by the caller.
+type Set []Vertex
+
+// New builds a Set from the given vertices, sorting and de-duplicating them.
+func New(vs ...Vertex) Set {
+	if len(vs) == 0 {
+		return nil
+	}
+	out := make(Set, len(vs))
+	copy(out, vs)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	// De-duplicate in place.
+	w := 1
+	for i := 1; i < len(out); i++ {
+		if out[i] != out[w-1] {
+			out[w] = out[i]
+			w++
+		}
+	}
+	return out[:w]
+}
+
+// FromSorted wraps a slice that is already strictly increasing. It panics if
+// the invariant does not hold; use it only on slices you control.
+func FromSorted(vs []Vertex) Set {
+	for i := 1; i < len(vs); i++ {
+		if vs[i-1] >= vs[i] {
+			panic(fmt.Sprintf("vset.FromSorted: input not strictly increasing at %d: %v", i, vs))
+		}
+	}
+	return Set(vs)
+}
+
+// Len reports the cardinality of the set.
+func (s Set) Len() int { return len(s) }
+
+// Empty reports whether the set has no elements.
+func (s Set) Empty() bool { return len(s) == 0 }
+
+// Contains reports whether v is an element of s.
+func (s Set) Contains(v Vertex) bool {
+	i := sort.Search(len(s), func(i int) bool { return s[i] >= v })
+	return i < len(s) && s[i] == v
+}
+
+// Max returns the largest element. It panics on the empty set.
+func (s Set) Max() Vertex {
+	if len(s) == 0 {
+		panic("vset: Max of empty set")
+	}
+	return s[len(s)-1]
+}
+
+// Min returns the smallest element. It panics on the empty set.
+func (s Set) Min() Vertex {
+	if len(s) == 0 {
+		panic("vset: Min of empty set")
+	}
+	return s[0]
+}
+
+// Equal reports whether s and t contain exactly the same vertices.
+func (s Set) Equal(t Set) bool {
+	if len(s) != len(t) {
+		return false
+	}
+	for i := range s {
+		if s[i] != t[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns a copy of s with its own backing array.
+func (s Set) Clone() Set {
+	if len(s) == 0 {
+		return nil
+	}
+	out := make(Set, len(s))
+	copy(out, s)
+	return out
+}
+
+// Add returns s ∪ {v}. If v is already present the receiver is returned
+// unchanged (it is safe to use the result without copying).
+func (s Set) Add(v Vertex) Set {
+	i := sort.Search(len(s), func(i int) bool { return s[i] >= v })
+	if i < len(s) && s[i] == v {
+		return s
+	}
+	out := make(Set, 0, len(s)+1)
+	out = append(out, s[:i]...)
+	out = append(out, v)
+	out = append(out, s[i:]...)
+	return out
+}
+
+// Remove returns s \ {v}. If v is not present the receiver is returned.
+func (s Set) Remove(v Vertex) Set {
+	i := sort.Search(len(s), func(i int) bool { return s[i] >= v })
+	if i >= len(s) || s[i] != v {
+		return s
+	}
+	out := make(Set, 0, len(s)-1)
+	out = append(out, s[:i]...)
+	out = append(out, s[i+1:]...)
+	return out
+}
+
+// Union returns s ∪ t.
+func (s Set) Union(t Set) Set {
+	out := make(Set, 0, len(s)+len(t))
+	i, j := 0, 0
+	for i < len(s) && j < len(t) {
+		switch {
+		case s[i] < t[j]:
+			out = append(out, s[i])
+			i++
+		case s[i] > t[j]:
+			out = append(out, t[j])
+			j++
+		default:
+			out = append(out, s[i])
+			i++
+			j++
+		}
+	}
+	out = append(out, s[i:]...)
+	out = append(out, t[j:]...)
+	return out
+}
+
+// Intersect returns s ∩ t.
+func (s Set) Intersect(t Set) Set {
+	var out Set
+	i, j := 0, 0
+	for i < len(s) && j < len(t) {
+		switch {
+		case s[i] < t[j]:
+			i++
+		case s[i] > t[j]:
+			j++
+		default:
+			out = append(out, s[i])
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+// Diff returns s \ t.
+func (s Set) Diff(t Set) Set {
+	var out Set
+	i, j := 0, 0
+	for i < len(s) {
+		switch {
+		case j >= len(t) || s[i] < t[j]:
+			out = append(out, s[i])
+			i++
+		case s[i] > t[j]:
+			j++
+		default:
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+// ContainsAll reports whether every element of t is also in s.
+func (s Set) ContainsAll(t Set) bool {
+	i, j := 0, 0
+	for j < len(t) {
+		if i >= len(s) {
+			return false
+		}
+		switch {
+		case s[i] < t[j]:
+			i++
+		case s[i] == t[j]:
+			i++
+			j++
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// Key returns a canonical string key for the set, suitable for use as a map
+// key in ground-truth enumerations and tests.
+func (s Set) Key() string {
+	if len(s) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	for i, v := range s {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.FormatInt(int64(v), 10))
+	}
+	return b.String()
+}
+
+// String implements fmt.Stringer.
+func (s Set) String() string { return "{" + s.Key() + "}" }
