@@ -1,0 +1,56 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"dyndens/internal/core"
+	"dyndens/internal/stream"
+)
+
+// cmdBench replays a seeded synthetic stream end-to-end (generator → replay →
+// engine → counting sink) and prints the throughput/latency summary that
+// serves as the repo's performance baseline.
+//
+// Note the threshold/workload interplay: weights accumulate for the whole
+// run, so a threshold far below the weight of the hottest edges (high -skew
+// or long streams with low -T) makes a combinatorial number of subgraphs
+// dense — that is a property of the Engagement problem, not a bug. The
+// defaults (uniform endpoints, T=3) keep the index sparse at any length.
+func cmdBench(args []string) error {
+	fs := flag.NewFlagSet("dyndens bench", flag.ExitOnError)
+	newSynth := synthFlags(fs)
+	batch := fs.Int("batch", 256, "micro-batch size for the replay driver")
+	newEngine := engineFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	synthCfg, err := newSynth()
+	if err != nil {
+		return fmt.Errorf("bench: %w", err)
+	}
+
+	src, err := stream.NewSynthetic(synthCfg)
+	if err != nil {
+		return err
+	}
+	eng, err := newEngine()
+	if err != nil {
+		return err
+	}
+
+	sink := &core.CountingSink{}
+	st, err := stream.NewReplay(src, eng, sink).Run(*batch)
+	if err != nil {
+		return err
+	}
+	cfg := eng.Config()
+	fmt.Printf("bench: %d vertices, %d updates (seed=%d skew=%g neg=%g mean=%g) | %s T=%g Nmax=%d δit=%.4g batch=%d\n",
+		synthCfg.Vertices, synthCfg.Updates, synthCfg.Seed, synthCfg.Skew, synthCfg.NegativeFraction, synthCfg.MeanDelta,
+		cfg.Measure.Name(), cfg.T, cfg.Nmax, cfg.DeltaIt, *batch)
+	fmt.Println(st)
+	fmt.Printf("sink:   became=%d ceased=%d (net output-dense=%d)\n",
+		sink.Became, sink.Ceased, eng.OutputDenseCount())
+	fmt.Println(engineSummary(eng))
+	return nil
+}

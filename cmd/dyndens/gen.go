@@ -1,0 +1,61 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dyndens/internal/stream"
+)
+
+// cmdGen generates a seeded synthetic update stream in the edge-list format
+// `a b delta` that `dyndens run` (and stream.FileSource) reads back.
+func cmdGen(args []string) error {
+	fs := flag.NewFlagSet("dyndens gen", flag.ExitOnError)
+	newSynth := synthFlags(fs)
+	out := fs.String("out", "-", "output path (- for stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfg, err := newSynth()
+	if err != nil {
+		return fmt.Errorf("gen: %w", err)
+	}
+
+	src, err := stream.NewSynthetic(cfg)
+	if err != nil {
+		return err
+	}
+	all, err := stream.Drain(src)
+	if err != nil {
+		return err
+	}
+
+	w := os.Stdout
+	var f *os.File
+	if *out != "-" {
+		f, err = os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close() // cleanup on error paths; success path closes explicitly
+		w = f
+	}
+	if _, err := fmt.Fprintf(w, "# dyndens gen -vertices %d -updates %d -seed %d -skew %g -neg %g -mean %g\n",
+		cfg.Vertices, cfg.Updates, cfg.Seed, cfg.Skew, cfg.NegativeFraction, cfg.MeanDelta); err != nil {
+		return err
+	}
+	n, err := stream.WriteUpdates(w, all)
+	if err != nil {
+		return err
+	}
+	// A failed Close can lose buffered writes; report it rather than claim
+	// success over a truncated file.
+	if f != nil {
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintf(os.Stderr, "wrote %d updates to %s\n", n, *out)
+	return nil
+}

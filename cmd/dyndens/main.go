@@ -1,0 +1,138 @@
+// Command dyndens is the streaming driver for the DynDens engine: it wires an
+// update source (recorded file, stdin, or the synthetic generator) through
+// the incremental dense-subgraph engine into an event sink, exposing the
+// paper's algorithm as a runnable pipeline.
+//
+// Subcommands:
+//
+//	gen    generate a seeded synthetic update stream as an edge-list file
+//	run    replay an update stream from a file or stdin, printing events
+//	bench  replay a synthetic stream end-to-end and print a perf summary
+//
+// Run `dyndens <subcommand> -h` for the flags of each subcommand.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dyndens/internal/core"
+	"dyndens/internal/density"
+	"dyndens/internal/stream"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "gen":
+		err = cmdGen(os.Args[2:])
+	case "run":
+		err = cmdRun(os.Args[2:])
+	case "bench":
+		err = cmdBench(os.Args[2:])
+	case "-h", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "dyndens: unknown subcommand %q\n\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dyndens:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `usage: dyndens <subcommand> [flags]
+
+subcommands:
+  gen    generate a seeded synthetic update stream (edge-list format)
+  run    replay an update stream from a file or stdin, printing events
+  bench  replay a synthetic stream end-to-end and print a perf summary
+`)
+}
+
+// engineFlags registers the engine configuration flags shared by run and
+// bench and returns a constructor that builds the engine after parsing.
+func engineFlags(fs *flag.FlagSet) func() (*core.Engine, error) {
+	t := fs.Float64("T", 3, "output-density threshold T")
+	nmax := fs.Int("nmax", 5, "maximum subgraph cardinality Nmax")
+	deltaItFrac := fs.Float64("deltait-frac", 0.01, "δ_it as a fraction of its maximum valid value")
+	measure := fs.String("measure", "avgweight", "density measure: avgweight, avgdegree, or sqrt")
+	maxExplore := fs.Bool("maxexplore", true, "enable the MaxExplore heuristic (Section 7.1)")
+	degreePrioritize := fs.Bool("degree-prioritize", false, "enable the DegreePrioritize heuristic (Section 7.2)")
+	return func() (*core.Engine, error) {
+		m, err := measureByName(*measure)
+		if err != nil {
+			return nil, err
+		}
+		// Config.withDefaults silently falls back to 0.01 for out-of-range
+		// fractions; an explicitly set flag should fail loudly instead.
+		if *deltaItFrac <= 0 || *deltaItFrac >= 1 {
+			return nil, fmt.Errorf("-deltait-frac must be in (0, 1), got %g", *deltaItFrac)
+		}
+		return core.New(core.Config{
+			Measure:                m,
+			T:                      *t,
+			Nmax:                   *nmax,
+			DeltaItFraction:        *deltaItFrac,
+			EnableMaxExplore:       *maxExplore,
+			EnableDegreePrioritize: *degreePrioritize,
+		})
+	}
+}
+
+// synthFlags registers the synthetic-generator flags shared by gen and bench
+// and returns a constructor that builds the configuration after parsing.
+func synthFlags(fs *flag.FlagSet) func() (stream.SynthConfig, error) {
+	vertices := fs.Int("vertices", 500, "vertex universe size")
+	updates := fs.Int("updates", 10000, "number of updates to generate")
+	seed := fs.Int64("seed", 1, "generator seed")
+	skew := fs.Float64("skew", 0, "Zipf exponent for endpoint popularity (≤ 1 = uniform)")
+	neg := fs.Float64("neg", 0.1, "fraction of negative (decay) updates")
+	mean := fs.Float64("mean", 1, "mean update magnitude")
+	return func() (stream.SynthConfig, error) {
+		if *updates <= 0 {
+			return stream.SynthConfig{}, fmt.Errorf("-updates must be positive, got %d", *updates)
+		}
+		return stream.SynthConfig{
+			Vertices:         *vertices,
+			Updates:          *updates,
+			Seed:             *seed,
+			Skew:             *skew,
+			NegativeFraction: *neg,
+			MeanDelta:        *mean,
+		}, nil
+	}
+}
+
+func measureByName(name string) (density.Measure, error) {
+	switch name {
+	case "avgweight":
+		return density.AvgWeight, nil
+	case "avgdegree":
+		return density.AvgDegree, nil
+	case "sqrt":
+		return density.SqrtDens, nil
+	default:
+		return nil, fmt.Errorf("unknown measure %q (want avgweight, avgdegree, or sqrt)", name)
+	}
+}
+
+// engineSummary formats the engine-side work counters for the end-of-run
+// report.
+func engineSummary(eng *core.Engine) string {
+	s := eng.Stats()
+	return fmt.Sprintf(
+		"engine: updates=%d (+%d/-%d) events=%d dense=%d stars=%d index-nodes=%d (max %d)\n"+
+			"work:   explorations=%d cheap-explores=%d insertions=%d evictions=%d maxexplore-skips=%d",
+		s.Updates, s.PositiveUpdates, s.NegativeUpdates, s.Events,
+		s.IndexedDense, s.IndexedStars, s.IndexNodes, s.MaxIndexNodes,
+		s.Explorations, s.CheapExplores, s.Insertions, s.Evictions, s.MaxExploreSkips)
+}

@@ -1,0 +1,93 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"dyndens/internal/core"
+	"dyndens/internal/stream"
+	"dyndens/internal/vset"
+)
+
+// cmdRun replays a recorded update stream (file or stdin) through the engine,
+// streaming the output-dense changes that pass the configured filter to
+// stdout, and prints the throughput and engine summary at the end.
+func cmdRun(args []string) error {
+	fs := flag.NewFlagSet("dyndens run", flag.ExitOnError)
+	input := fs.String("input", "-", "update stream path (- for stdin), edge-list `a b delta` lines")
+	batch := fs.Int("batch", 256, "micro-batch size for the replay driver")
+	quiet := fs.Bool("quiet", false, "suppress per-event output, print only the summary")
+	minCard := fs.Int("min-card", 0, "only report subgraphs with at least this many vertices")
+	watch := fs.String("watch", "", "comma-separated vertex watchlist; only report subgraphs containing one")
+	newEngine := engineFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	eng, err := newEngine()
+	if err != nil {
+		return err
+	}
+	watchSet, err := parseWatchlist(*watch)
+	if err != nil {
+		return err
+	}
+
+	var src stream.UpdateSource
+	if *input == "-" {
+		src = stream.NewReaderSource("stdin", os.Stdin)
+	} else {
+		f, err := stream.OpenFile(*input)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		src = f
+	}
+
+	// Sink chain: filter → counter (+ printer unless -quiet).
+	counter := &core.CountingSink{}
+	inner := core.EventSink(counter)
+	if !*quiet {
+		printer := core.EventSinkFunc(func(ev core.Event) {
+			fmt.Printf("%-20s %v score=%.4g dens=%.4g\n", ev.Kind, ev.Set, ev.Score, ev.Density)
+		})
+		inner = core.MultiSink{counter, printer}
+	}
+	filter := &core.FilterSink{Next: inner, MinCardinality: *minCard, Watch: watchSet}
+
+	st, err := stream.NewReplay(src, eng, filter).Run(*batch)
+	if err != nil {
+		return err
+	}
+	fmt.Println(st)
+	fmt.Printf("sink:   reported=%d (became=%d ceased=%d) filtered-out=%d\n",
+		filter.Passed, counter.Became, counter.Ceased, filter.Dropped)
+	fmt.Println(engineSummary(eng))
+	return nil
+}
+
+func parseWatchlist(s string) (vset.Set, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var vs []vset.Vertex
+	for _, tok := range strings.Split(s, ",") {
+		tok = strings.TrimSpace(tok)
+		if tok == "" {
+			continue
+		}
+		v, err := strconv.ParseInt(tok, 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("run: bad watchlist vertex %q: %w", tok, err)
+		}
+		if v < 0 {
+			return nil, fmt.Errorf("run: watchlist vertex %q is negative; vertices are non-negative", tok)
+		}
+		vs = append(vs, vset.Vertex(v))
+	}
+	return vset.New(vs...), nil
+}

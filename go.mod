@@ -1,0 +1,3 @@
+module dyndens
+
+go 1.24

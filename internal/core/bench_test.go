@@ -1,0 +1,135 @@
+// Benchmarks for the Engine.Process hot path, driven by the seeded synthetic
+// workload generator from internal/stream. They live in an external test
+// package so they can use the ingestion layer without an import cycle.
+//
+// Run with: go test -bench=. -benchmem ./internal/core/
+//
+// Workload shape needs care. Edge weights only accumulate under a positive
+// stream, so a fixed threshold is eventually crossed by an ever-growing hot
+// core and the dense-subgraph count — combinatorial in the number of
+// dense-eligible vertices — explodes. To keep the measured regime stationary,
+// each benchmark replays a fixed bench stream against a warm engine and,
+// whenever the stream is exhausted, rebuilds the warm engine off-timer. The
+// warm phase (skew 1.1, 8000 unit-mean updates, T=100, Nmax=5) yields a
+// realistic dense core of a few hundred indexed subgraphs.
+package core_test
+
+import (
+	"testing"
+
+	"dyndens/internal/core"
+	"dyndens/internal/stream"
+)
+
+const (
+	benchVertices = 500
+	benchWarm     = 8000
+	benchSkew     = 1.1
+	benchStream   = 2048 // bench updates replayed per engine rebuild
+)
+
+func benchConfig() core.Config {
+	return core.Config{T: 100, Nmax: 5, EnableMaxExplore: true}
+}
+
+// benchUpdates materialises n updates from a seeded generator.
+func benchUpdates(b *testing.B, cfg stream.SynthConfig, n int) []core.Update {
+	b.Helper()
+	cfg.Updates = n
+	updates, err := stream.Drain(stream.MustSynthetic(cfg))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return updates
+}
+
+// warmEngine builds an engine over a pre-populated graph so the benchmark
+// loop measures steady-state behaviour rather than cold growth.
+func warmEngine(b *testing.B, warm []core.Update) *core.Engine {
+	b.Helper()
+	eng := core.MustNew(benchConfig())
+	eng.SetSink(&core.CountingSink{})
+	eng.ProcessAll(warm)
+	return eng
+}
+
+// benchProcess runs the replay-and-rebuild loop over the bench stream.
+func benchProcess(b *testing.B, warm, updates []core.Update) {
+	eng := warmEngine(b, warm)
+	b.ReportAllocs()
+	b.ResetTimer()
+	i := 0
+	for n := 0; n < b.N; n++ {
+		if i == len(updates) {
+			b.StopTimer()
+			eng = warmEngine(b, warm)
+			i = 0
+			b.StartTimer()
+		}
+		eng.Process(updates[i])
+		i++
+	}
+}
+
+// BenchmarkProcessPositive measures positive updates against the warm skewed
+// graph — the path that triggers cheap-exploration and exploration.
+func BenchmarkProcessPositive(b *testing.B) {
+	warm := benchUpdates(b, stream.SynthConfig{Vertices: benchVertices, Seed: 1, Skew: benchSkew}, benchWarm)
+	updates := benchUpdates(b, stream.SynthConfig{Vertices: benchVertices, Seed: 2, Skew: benchSkew}, benchStream)
+	benchProcess(b, warm, updates)
+}
+
+// BenchmarkProcessNegative measures negative updates against the warm graph —
+// the score-decrement/eviction scan path. Decrements are small relative to
+// the warm weights, so the dense core persists across the bench stream.
+func BenchmarkProcessNegative(b *testing.B) {
+	warm := benchUpdates(b, stream.SynthConfig{Vertices: benchVertices, Seed: 3, Skew: benchSkew}, benchWarm)
+	updates := benchUpdates(b, stream.SynthConfig{
+		Vertices: benchVertices, Seed: 4, Skew: benchSkew, NegativeFraction: 0.999, MeanDelta: 0.1,
+	}, benchStream)
+	benchProcess(b, warm, updates)
+}
+
+// BenchmarkProcessMixed measures the realistic blend the CLI bench command
+// replays: mostly positive with a decay fraction.
+func BenchmarkProcessMixed(b *testing.B) {
+	warm := benchUpdates(b, stream.SynthConfig{Vertices: benchVertices, Seed: 5, Skew: benchSkew}, benchWarm)
+	updates := benchUpdates(b, stream.SynthConfig{
+		Vertices: benchVertices, Seed: 6, Skew: benchSkew, NegativeFraction: 0.2,
+	}, benchStream)
+	benchProcess(b, warm, updates)
+}
+
+// BenchmarkReplayPipeline measures the full source → replay → engine → sink
+// pipeline, including generation, as the end-to-end per-update overhead. The
+// workload is uniform with a threshold the accumulated weights stay far
+// below, so the index remains sparse and the number reflects ingestion cost
+// rather than exploration cost. Like the Process benchmarks, the pipeline is
+// rebuilt off-timer after a bounded number of updates so that long
+// -benchtime runs cannot drift the accumulated weights across the threshold.
+func BenchmarkReplayPipeline(b *testing.B) {
+	const rebuildEvery = 1 << 16 // uniform weights stay ≪ T within a cycle
+	b.ReportAllocs()
+	newReplay := func() *stream.Replay {
+		src := stream.MustSynthetic(stream.SynthConfig{Vertices: benchVertices, Seed: 7, NegativeFraction: 0.1})
+		eng := core.MustNew(core.Config{T: 25, Nmax: 5, EnableMaxExplore: true})
+		return stream.NewReplay(src, eng, &core.CountingSink{})
+	}
+	r := newReplay()
+	b.ResetTimer()
+	cycle := 0
+	for done := 0; done < b.N; {
+		if cycle == rebuildEvery {
+			b.StopTimer()
+			r = newReplay()
+			cycle = 0
+			b.StartTimer()
+		}
+		n, err := r.Batch(min(1024, b.N-done, rebuildEvery-cycle))
+		if err != nil {
+			b.Fatal(err)
+		}
+		done += n
+		cycle += n
+	}
+}

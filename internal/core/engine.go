@@ -133,6 +133,15 @@ type Engine struct {
 
 	stats Stats
 
+	// sink receives events as they are discovered. When no sink is installed
+	// (SetSink(nil), the default) events are gathered in collector so the
+	// slice-returning Process API keeps working.
+	sink      EventSink
+	collector CollectorSink
+	// cur is the destination for the in-flight Process/SetThreshold call:
+	// sink if one is installed, otherwise &collector.
+	cur EventSink
+
 	// Per-update scratch state (valid during Process only).
 	a, b        Vertex
 	delta       float64
@@ -140,7 +149,6 @@ type Engine struct {
 	maxExplore  int // MaxExplore heuristic cap (Nmax+1 = unlimited)
 	maxExploreA int
 	maxExploreB int
-	events      []Event
 }
 
 // New creates a DynDens engine. It validates the configuration (threshold
@@ -186,8 +194,42 @@ func (e *Engine) Stats() Stats {
 	return s
 }
 
-// Process applies one edge-weight update and returns the resulting changes to
-// the output-dense subgraph set. Updates with A == B or Delta == 0 are no-ops.
+// SetSink installs the destination for output events. With a sink installed
+// the engine pushes each Became/CeasedOutputDense change to it the moment it
+// is discovered, and Process/SetThreshold return nil event slices. Passing nil
+// uninstalls the sink and restores the slice-returning behaviour.
+//
+// The sink is invoked synchronously on the processing goroutine and must not
+// call back into the engine; see EventSink for the full contract.
+func (e *Engine) SetSink(s EventSink) { e.sink = s }
+
+// Sink returns the currently installed sink (nil in slice-returning mode).
+func (e *Engine) Sink() EventSink { return e.sink }
+
+// beginEmit readies the event destination for one Process/SetThreshold call.
+func (e *Engine) beginEmit() {
+	if e.sink != nil {
+		e.cur = e.sink
+		return
+	}
+	e.collector.Reset()
+	e.cur = &e.collector
+}
+
+// finishEmit ends the call, returning the collected events in slice mode and
+// nil when a sink is installed.
+func (e *Engine) finishEmit() []Event {
+	e.cur = nil
+	if e.sink != nil {
+		return nil
+	}
+	return e.collector.Take()
+}
+
+// Process applies one edge-weight update. In the default slice-returning mode
+// it returns the resulting changes to the output-dense subgraph set; with a
+// sink installed (SetSink) the changes are pushed to the sink instead and nil
+// is returned. Updates with A == B or Delta == 0 are no-ops.
 func (e *Engine) Process(u Update) []Event {
 	e.stats.Updates++
 	if u.A == u.B || u.Delta == 0 {
@@ -199,7 +241,7 @@ func (e *Engine) Process(u Update) []Event {
 		return nil
 	}
 	e.a, e.b, e.delta = u.A, u.B, applied
-	e.events = nil
+	e.beginEmit()
 	e.ix.BeginUpdate()
 	if applied < 0 {
 		e.stats.NegativeUpdates++
@@ -208,27 +250,28 @@ func (e *Engine) Process(u Update) []Event {
 		e.stats.PositiveUpdates++
 		e.processPositive()
 	}
-	e.stats.Events += uint64(len(e.events))
 	if n := e.ix.NodeCount(); n > e.stats.MaxIndexNodes {
 		e.stats.MaxIndexNodes = n
 	}
-	return e.events
+	return e.finishEmit()
 }
 
-// ProcessAll applies a sequence of updates, discarding events, and returns
-// the total number of events that were generated. It is the convenience entry
+// ProcessAll applies a sequence of updates and returns the total number of
+// events that were generated (counted through the engine's event counter, so
+// it works identically in sink and slice mode). It is the convenience entry
 // point used by benchmarks and bulk loads.
 func (e *Engine) ProcessAll(updates []Update) int {
-	total := 0
+	before := e.stats.Events
 	for _, u := range updates {
-		total += len(e.Process(u))
+		e.Process(u)
 	}
-	return total
+	return int(e.stats.Events - before)
 }
 
-// emit records an output event.
+// emit pushes an output event to the current destination.
 func (e *Engine) emit(kind EventKind, c vset.Set, score float64) {
-	e.events = append(e.events, Event{
+	e.stats.Events++
+	e.cur.Emit(Event{
 		Kind:    kind,
 		Set:     c.Clone(),
 		Score:   score,

@@ -27,6 +27,21 @@ func (e *Engine) OutputDense() []Subgraph {
 	return out
 }
 
+// OutputDenseKeys returns the canonical set keys (vset.Set.Key) of the
+// explicitly indexed output-dense subgraphs, sorted lexicographically. It is
+// the cheap comparison form used by oracle cross-validation tests and by
+// consumers that maintain the result set incrementally from sink events.
+func (e *Engine) OutputDenseKeys() []string {
+	var keys []string
+	for _, n := range e.ix.DenseNodes() {
+		if e.th.IsOutputDense(n.Score(), n.Card()) {
+			keys = append(keys, n.Set().Key())
+		}
+	}
+	sort.Strings(keys)
+	return keys
+}
+
 // OutputDenseCount returns the number of explicitly indexed output-dense
 // subgraphs without materialising them.
 func (e *Engine) OutputDenseCount() int {

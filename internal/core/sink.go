@@ -1,0 +1,147 @@
+package core
+
+import "dyndens/internal/vset"
+
+// EventSink receives output-dense change events as the engine discovers them.
+//
+// This is the streaming counterpart of the slice-returning Process API: a sink
+// installed with Engine.SetSink observes every Became/CeasedOutputDense change
+// the moment it is found, without the engine materialising a per-update slice.
+// Sinks are invoked synchronously from Process/SetThreshold on the engine's
+// goroutine, while the update is still being applied. Emit must therefore not
+// call back into the engine — neither mutators (Process, SetThreshold) nor
+// queries (OutputDense etc.), which would observe a half-applied update. An
+// implementation that needs either should hand the event off to its own
+// machinery and act after Process returns (the Event's Set is already a
+// private copy, so it may be retained).
+type EventSink interface {
+	Emit(ev Event)
+}
+
+// EventSinkFunc adapts a plain function to the EventSink interface.
+type EventSinkFunc func(ev Event)
+
+// Emit implements EventSink.
+func (f EventSinkFunc) Emit(ev Event) { f(ev) }
+
+// CollectorSink accumulates events into a slice. It backs the engine's
+// slice-returning Process API and is the natural sink for tests that want to
+// inspect the exact event sequence. The zero value is ready to use.
+type CollectorSink struct {
+	events []Event
+}
+
+// Emit implements EventSink.
+func (c *CollectorSink) Emit(ev Event) { c.events = append(c.events, ev) }
+
+// Events returns the accumulated events without resetting the sink. The
+// returned slice aliases the sink's buffer; callers that keep it past the next
+// Emit should copy it (or use Take).
+func (c *CollectorSink) Events() []Event { return c.events }
+
+// Len returns the number of accumulated events.
+func (c *CollectorSink) Len() int { return len(c.events) }
+
+// Take returns the accumulated events and resets the sink. The returned slice
+// is owned by the caller; subsequent Emits start a fresh buffer.
+func (c *CollectorSink) Take() []Event {
+	evs := c.events
+	c.events = nil
+	return evs
+}
+
+// Reset discards the accumulated events.
+func (c *CollectorSink) Reset() { c.events = nil }
+
+// CountingSink counts events by kind without retaining them. It is the
+// cheapest possible sink and the default for throughput benchmarks, where
+// materialising events would distort the measurement. The zero value is ready
+// to use.
+type CountingSink struct {
+	Became uint64 // BecameOutputDense events observed
+	Ceased uint64 // CeasedOutputDense events observed
+}
+
+// Emit implements EventSink.
+func (c *CountingSink) Emit(ev Event) {
+	switch ev.Kind {
+	case BecameOutputDense:
+		c.Became++
+	case CeasedOutputDense:
+		c.Ceased++
+	}
+}
+
+// Total returns the total number of events observed.
+func (c *CountingSink) Total() uint64 { return c.Became + c.Ceased }
+
+// Reset zeroes the counters.
+func (c *CountingSink) Reset() { c.Became, c.Ceased = 0, 0 }
+
+// FilterSink forwards to Next only the events that pass its predicates. It is
+// the story-tracking primitive: a consumer interested in, say, stories of at
+// least four entities mentioning a particular person installs a FilterSink
+// with MinCardinality=4 and that person's vertex on the watchlist.
+//
+// An event passes when its subgraph has cardinality ≥ MinCardinality (0 or 1
+// disables the check) and, if Watch is non-empty, contains at least one
+// watched vertex.
+type FilterSink struct {
+	// Next receives the events that pass the filter. A nil Next makes the
+	// sink count-only (Passed/Dropped still advance).
+	Next EventSink
+	// MinCardinality is the minimum subgraph cardinality to forward.
+	MinCardinality int
+	// Watch, when non-empty, requires the subgraph to contain at least one of
+	// these vertices.
+	Watch vset.Set
+
+	// Passed and Dropped count the filter's decisions.
+	Passed  uint64
+	Dropped uint64
+}
+
+// Emit implements EventSink.
+func (f *FilterSink) Emit(ev Event) {
+	if !f.match(ev) {
+		f.Dropped++
+		return
+	}
+	f.Passed++
+	if f.Next != nil {
+		f.Next.Emit(ev)
+	}
+}
+
+func (f *FilterSink) match(ev Event) bool {
+	if ev.Set.Len() < f.MinCardinality {
+		return false
+	}
+	if f.Watch.Empty() {
+		return true
+	}
+	// Both sets are sorted; merge-scan for a common vertex.
+	s, w := ev.Set, f.Watch
+	i, j := 0, 0
+	for i < len(s) && j < len(w) {
+		switch {
+		case s[i] < w[j]:
+			i++
+		case s[i] > w[j]:
+			j++
+		default:
+			return true
+		}
+	}
+	return false
+}
+
+// MultiSink fans every event out to all member sinks in order.
+type MultiSink []EventSink
+
+// Emit implements EventSink.
+func (m MultiSink) Emit(ev Event) {
+	for _, s := range m {
+		s.Emit(ev)
+	}
+}

@@ -1,0 +1,180 @@
+package core
+
+import (
+	"testing"
+
+	"dyndens/internal/vset"
+)
+
+func ev(kind EventKind, vs ...vset.Vertex) Event {
+	set := vset.New(vs...)
+	return Event{Kind: kind, Set: set, Score: 1, Density: 1}
+}
+
+func TestCollectorSinkTake(t *testing.T) {
+	var c CollectorSink
+	c.Emit(ev(BecameOutputDense, 1, 2))
+	c.Emit(ev(CeasedOutputDense, 1, 2))
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", c.Len())
+	}
+	got := c.Take()
+	if len(got) != 2 || got[0].Kind != BecameOutputDense || got[1].Kind != CeasedOutputDense {
+		t.Fatalf("Take returned %v", got)
+	}
+	if c.Len() != 0 {
+		t.Fatalf("Len after Take = %d, want 0", c.Len())
+	}
+	// The taken slice must not be clobbered by later emissions.
+	c.Emit(ev(BecameOutputDense, 3, 4))
+	if !got[0].Set.Equal(vset.New(1, 2)) {
+		t.Fatalf("taken events were clobbered: %v", got[0].Set)
+	}
+}
+
+func TestCountingSink(t *testing.T) {
+	var c CountingSink
+	c.Emit(ev(BecameOutputDense, 1, 2))
+	c.Emit(ev(BecameOutputDense, 1, 3))
+	c.Emit(ev(CeasedOutputDense, 1, 2))
+	if c.Became != 2 || c.Ceased != 1 || c.Total() != 3 {
+		t.Fatalf("counts = %d/%d (total %d), want 2/1 (3)", c.Became, c.Ceased, c.Total())
+	}
+	c.Reset()
+	if c.Total() != 0 {
+		t.Fatalf("Total after Reset = %d", c.Total())
+	}
+}
+
+func TestFilterSinkMinCardinality(t *testing.T) {
+	var out CollectorSink
+	f := &FilterSink{Next: &out, MinCardinality: 3}
+	f.Emit(ev(BecameOutputDense, 1, 2))
+	f.Emit(ev(BecameOutputDense, 1, 2, 3))
+	f.Emit(ev(BecameOutputDense, 1, 2, 3, 4))
+	if f.Passed != 2 || f.Dropped != 1 {
+		t.Fatalf("passed/dropped = %d/%d, want 2/1", f.Passed, f.Dropped)
+	}
+	if out.Len() != 2 || out.Events()[0].Set.Len() != 3 {
+		t.Fatalf("forwarded events = %v", out.Events())
+	}
+}
+
+func TestFilterSinkWatchlist(t *testing.T) {
+	var out CollectorSink
+	f := &FilterSink{Next: &out, Watch: vset.New(5, 9)}
+	f.Emit(ev(BecameOutputDense, 1, 2))    // no watched vertex
+	f.Emit(ev(BecameOutputDense, 4, 5))    // contains 5
+	f.Emit(ev(BecameOutputDense, 8, 9, 7)) // contains 9
+	f.Emit(ev(BecameOutputDense, 6, 10))   // straddles both, contains neither
+	if f.Passed != 2 || f.Dropped != 2 {
+		t.Fatalf("passed/dropped = %d/%d, want 2/2", f.Passed, f.Dropped)
+	}
+	if out.Len() != 2 {
+		t.Fatalf("forwarded %d events, want 2", out.Len())
+	}
+}
+
+func TestFilterSinkNilNextCountsOnly(t *testing.T) {
+	f := &FilterSink{MinCardinality: 2}
+	f.Emit(ev(BecameOutputDense, 1, 2))
+	if f.Passed != 1 {
+		t.Fatalf("passed = %d, want 1", f.Passed)
+	}
+}
+
+func TestMultiSinkFanout(t *testing.T) {
+	var a, b CollectorSink
+	m := MultiSink{&a, &b}
+	m.Emit(ev(BecameOutputDense, 1, 2))
+	if a.Len() != 1 || b.Len() != 1 {
+		t.Fatalf("fanout lens = %d/%d, want 1/1", a.Len(), b.Len())
+	}
+}
+
+// streamUpdates is a tiny deterministic update sequence that produces both
+// kinds of events: a triangle forms, strengthens, and then collapses.
+func streamUpdates() []Update {
+	return []Update{
+		{A: 1, B: 2, Delta: 4},
+		{A: 2, B: 3, Delta: 4},
+		{A: 1, B: 3, Delta: 4},
+		{A: 1, B: 2, Delta: 2},
+		{A: 1, B: 2, Delta: -6},
+		{A: 2, B: 3, Delta: -4},
+		{A: 1, B: 3, Delta: -4},
+	}
+}
+
+// TestSinkModeMatchesSliceMode runs the same stream through a slice-mode
+// engine and a sink-mode engine and requires the identical event sequence.
+func TestSinkModeMatchesSliceMode(t *testing.T) {
+	cfg := Config{T: 3, Nmax: 4}
+
+	sliceEng := MustNew(cfg)
+	var want []Event
+	for _, u := range streamUpdates() {
+		want = append(want, sliceEng.Process(u)...)
+	}
+	if len(want) == 0 {
+		t.Fatal("test stream produced no events; fixture is broken")
+	}
+
+	sinkEng := MustNew(cfg)
+	var got CollectorSink
+	sinkEng.SetSink(&got)
+	for _, u := range streamUpdates() {
+		if evs := sinkEng.Process(u); evs != nil {
+			t.Fatalf("Process returned %v in sink mode, want nil", evs)
+		}
+	}
+
+	if got.Len() != len(want) {
+		t.Fatalf("sink saw %d events, slice mode produced %d", got.Len(), len(want))
+	}
+	for i, w := range want {
+		g := got.Events()[i]
+		if g.Kind != w.Kind || !g.Set.Equal(w.Set) || g.Score != w.Score || g.Density != w.Density {
+			t.Errorf("event %d: got %+v, want %+v", i, g, w)
+		}
+	}
+	if sinkEng.Stats().Events != sliceEng.Stats().Events {
+		t.Errorf("event counters diverge: sink %d, slice %d", sinkEng.Stats().Events, sliceEng.Stats().Events)
+	}
+}
+
+// TestSetSinkNilRestoresSliceMode verifies the mode can be switched back and
+// forth on a live engine.
+func TestSetSinkNilRestoresSliceMode(t *testing.T) {
+	e := MustNew(Config{T: 3, Nmax: 4})
+	var sink CountingSink
+	e.SetSink(&sink)
+	e.Process(Update{A: 1, B: 2, Delta: 5})
+	if sink.Became != 1 {
+		t.Fatalf("sink.Became = %d, want 1", sink.Became)
+	}
+	e.SetSink(nil)
+	evs := e.Process(Update{A: 3, B: 4, Delta: 5})
+	if len(evs) != 1 || evs[0].Kind != BecameOutputDense {
+		t.Fatalf("slice mode returned %v, want one BecameOutputDense", evs)
+	}
+	if sink.Total() != 1 {
+		t.Fatalf("uninstalled sink still received events: %d", sink.Total())
+	}
+}
+
+// TestSetThresholdThroughSink verifies the dynamic threshold procedure also
+// routes through the sink.
+func TestSetThresholdThroughSink(t *testing.T) {
+	e := MustNew(Config{T: 3, Nmax: 4})
+	var sink CollectorSink
+	e.SetSink(&sink)
+	e.Process(Update{A: 1, B: 2, Delta: 4}) // output-dense at T=3
+	sink.Reset()
+	if evs, err := e.SetThreshold(5); err != nil || evs != nil {
+		t.Fatalf("SetThreshold = %v, %v; want nil, nil in sink mode", evs, err)
+	}
+	if sink.Len() != 1 || sink.Events()[0].Kind != CeasedOutputDense {
+		t.Fatalf("sink events after threshold increase: %v", sink.Events())
+	}
+}

@@ -22,6 +22,9 @@ var ErrSameThreshold = errors.New("core: new threshold equals the current thresh
 // Decreasing the threshold first considers every edge of the graph as a
 // potential newly-dense seed, then explores around every indexed dense
 // subgraph to discover subgraphs that became dense under the lower schedule.
+//
+// Like Process, SetThreshold pushes the changes to the installed sink (and
+// returns a nil slice) when one is present.
 func (e *Engine) SetThreshold(newT float64) ([]Event, error) {
 	oldTh := e.th
 	if newT == oldTh.T {
@@ -31,7 +34,7 @@ func (e *Engine) SetThreshold(newT float64) ([]Event, error) {
 	if err != nil {
 		return nil, err
 	}
-	e.events = nil
+	e.beginEmit()
 	e.ix.BeginUpdate()
 	if newT > oldTh.T {
 		e.increaseThreshold(newTh)
@@ -40,11 +43,10 @@ func (e *Engine) SetThreshold(newT float64) ([]Event, error) {
 	}
 	e.cfg.T = newT
 	e.cfg.DeltaIt = newTh.DeltaIt
-	e.stats.Events += uint64(len(e.events))
 	if n := e.ix.NodeCount(); n > e.stats.MaxIndexNodes {
 		e.stats.MaxIndexNodes = n
 	}
-	return e.events, nil
+	return e.finishEmit(), nil
 }
 
 // increaseThreshold implements Algorithm 3, lines 2–4.

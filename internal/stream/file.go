@@ -1,0 +1,104 @@
+package stream
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"dyndens/internal/graph"
+)
+
+// FileSource reads edge-weight updates from a text stream in the edge-list
+// format `a b delta`, one update per line: two vertex identifiers (integers)
+// and a weight delta (float), separated by whitespace. Blank lines and lines
+// starting with '#' are skipped, so generated files can carry a provenance
+// header. This is the recorded-stream format written by `dyndens gen`.
+type FileSource struct {
+	name   string
+	sc     *bufio.Scanner
+	closer io.Closer
+	line   int
+}
+
+// NewReaderSource wraps an io.Reader in a FileSource. name is used in error
+// messages only.
+func NewReaderSource(name string, r io.Reader) *FileSource {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	return &FileSource{name: name, sc: sc}
+}
+
+// OpenFile opens path as a FileSource. The caller must Close it.
+func OpenFile(path string) (*FileSource, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	s := NewReaderSource(path, f)
+	s.closer = f
+	return s, nil
+}
+
+// Next implements UpdateSource.
+func (s *FileSource) Next() (Update, error) {
+	for s.sc.Scan() {
+		s.line++
+		text := strings.TrimSpace(s.sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		u, err := ParseUpdate(text)
+		if err != nil {
+			return Update{}, fmt.Errorf("%s:%d: %w", s.name, s.line, err)
+		}
+		return u, nil
+	}
+	if err := s.sc.Err(); err != nil {
+		return Update{}, fmt.Errorf("%s: %w", s.name, err)
+	}
+	return Update{}, io.EOF
+}
+
+// Close releases the underlying file, if any.
+func (s *FileSource) Close() error {
+	if s.closer == nil {
+		return nil
+	}
+	return s.closer.Close()
+}
+
+// ParseUpdate parses one `a b delta` line.
+func ParseUpdate(text string) (Update, error) {
+	fields := strings.Fields(text)
+	if len(fields) != 3 {
+		return Update{}, fmt.Errorf("stream: want 3 fields `a b delta`, got %d in %q", len(fields), text)
+	}
+	a, err := strconv.ParseInt(fields[0], 10, 32)
+	if err != nil {
+		return Update{}, fmt.Errorf("stream: bad vertex %q: %w", fields[0], err)
+	}
+	b, err := strconv.ParseInt(fields[1], 10, 32)
+	if err != nil {
+		return Update{}, fmt.Errorf("stream: bad vertex %q: %w", fields[1], err)
+	}
+	delta, err := strconv.ParseFloat(fields[2], 64)
+	if err != nil {
+		return Update{}, fmt.Errorf("stream: bad delta %q: %w", fields[2], err)
+	}
+	return Update{A: graph.Vertex(a), B: graph.Vertex(b), Delta: delta}, nil
+}
+
+// WriteUpdates writes updates to w in the edge-list format FileSource reads,
+// returning the number of updates written.
+func WriteUpdates(w io.Writer, updates []Update) (int, error) {
+	bw := bufio.NewWriter(w)
+	for i, u := range updates {
+		if _, err := fmt.Fprintf(bw, "%d %d %g\n", u.A, u.B, u.Delta); err != nil {
+			return i, err
+		}
+	}
+	return len(updates), bw.Flush()
+}

@@ -1,0 +1,165 @@
+package stream
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"dyndens/internal/core"
+)
+
+// Replay drives an UpdateSource through an Engine into an EventSink. It is
+// the glue of the pipeline: sources know nothing about the engine, the engine
+// knows nothing about where updates come from, and sinks only see results.
+//
+// Updates are processed in micro-batches (Batch) so that callers can
+// interleave replay with queries, threshold changes, or backpressure checks,
+// and so that latency is tracked at a granularity that is meaningful for a
+// streaming system (per-batch, amortising the timer cost over many
+// sub-microsecond updates).
+type Replay struct {
+	src  UpdateSource
+	eng  *core.Engine
+	sink core.EventSink
+
+	startEvents uint64
+	stats       ReplayStats
+	done        bool
+	buf         []Update // per-batch staging so source I/O stays untimed
+}
+
+// ReplayStats aggregates the work performed by a Replay.
+type ReplayStats struct {
+	Updates int           // updates pulled from the source and processed
+	Events  uint64        // output events emitted by the engine during the replay
+	Batches int           // Batch calls that processed at least one update
+	Elapsed time.Duration // total time spent inside Engine.Process batches
+
+	MinBatchLatency time.Duration // fastest non-empty batch
+	MaxBatchLatency time.Duration // slowest non-empty batch
+}
+
+// UpdatesPerSecond returns the replay throughput (0 before any work).
+func (s ReplayStats) UpdatesPerSecond() float64 {
+	if s.Elapsed <= 0 {
+		return 0
+	}
+	return float64(s.Updates) / s.Elapsed.Seconds()
+}
+
+// MeanUpdateLatency returns the average processing time per update.
+func (s ReplayStats) MeanUpdateLatency() time.Duration {
+	if s.Updates == 0 {
+		return 0
+	}
+	return s.Elapsed / time.Duration(s.Updates)
+}
+
+// String formats the throughput/latency summary printed by the CLI driver.
+func (s ReplayStats) String() string {
+	return fmt.Sprintf(
+		"replay{updates=%d events=%d batches=%d elapsed=%v throughput=%.0f upd/s mean=%v batch=[%v..%v]}",
+		s.Updates, s.Events, s.Batches, s.Elapsed.Round(time.Microsecond),
+		s.UpdatesPerSecond(), s.MeanUpdateLatency(), s.MinBatchLatency, s.MaxBatchLatency)
+}
+
+// NewReplay wires src → eng → sink, installing sink on the engine. A nil
+// sink keeps the sink already installed on the engine, if any, and otherwise
+// installs a CountingSink so the engine never materialises event slices
+// during replay.
+func NewReplay(src UpdateSource, eng *core.Engine, sink core.EventSink) *Replay {
+	if sink == nil {
+		if sink = eng.Sink(); sink == nil {
+			sink = &core.CountingSink{}
+		}
+	}
+	eng.SetSink(sink)
+	return &Replay{
+		src:         src,
+		eng:         eng,
+		sink:        sink,
+		startEvents: eng.Stats().Events,
+	}
+}
+
+// Engine returns the driven engine.
+func (r *Replay) Engine() *core.Engine { return r.eng }
+
+// Sink returns the installed sink.
+func (r *Replay) Sink() core.EventSink { return r.sink }
+
+// Done reports whether the source has been exhausted.
+func (r *Replay) Done() bool { return r.done }
+
+// Stats returns the statistics accumulated so far.
+func (r *Replay) Stats() ReplayStats {
+	s := r.stats
+	s.Events = r.eng.Stats().Events - r.startEvents
+	return s
+}
+
+// Batch pulls up to n updates from the source and processes them, returning
+// the number processed. It returns io.EOF (possibly alongside a non-zero
+// count) once the source is exhausted, and any source error verbatim.
+//
+// The batch is staged in memory before processing so that the latency
+// statistics measure engine cost only, not source I/O or parsing.
+func (r *Replay) Batch(n int) (int, error) {
+	if r.done {
+		return 0, io.EOF
+	}
+	if n <= 0 {
+		return 0, fmt.Errorf("stream: batch size must be positive, got %d", n)
+	}
+	r.buf = r.buf[:0]
+	var srcErr error
+	for len(r.buf) < n {
+		u, err := r.src.Next()
+		if err != nil {
+			srcErr = err
+			break
+		}
+		r.buf = append(r.buf, u)
+	}
+	processed := len(r.buf)
+	start := time.Now()
+	for _, u := range r.buf {
+		r.eng.Process(u)
+	}
+	elapsed := time.Since(start)
+	if processed > 0 {
+		r.stats.Updates += processed
+		r.stats.Batches++
+		r.stats.Elapsed += elapsed
+		if r.stats.MinBatchLatency == 0 || elapsed < r.stats.MinBatchLatency {
+			r.stats.MinBatchLatency = elapsed
+		}
+		if elapsed > r.stats.MaxBatchLatency {
+			r.stats.MaxBatchLatency = elapsed
+		}
+	}
+	if srcErr != nil {
+		if errors.Is(srcErr, io.EOF) {
+			r.done = true
+			return processed, io.EOF
+		}
+		return processed, srcErr
+	}
+	return processed, nil
+}
+
+// Run drains the source in batches of batchSize and returns the final
+// statistics. A source error other than io.EOF aborts the run and is
+// returned with the statistics accumulated so far.
+func (r *Replay) Run(batchSize int) (ReplayStats, error) {
+	for {
+		_, err := r.Batch(batchSize)
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				return r.Stats(), nil
+			}
+			return r.Stats(), err
+		}
+	}
+}

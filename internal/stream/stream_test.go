@@ -1,0 +1,216 @@
+package stream
+
+import (
+	"errors"
+	"io"
+	"slices"
+	"strings"
+	"testing"
+
+	"dyndens/internal/core"
+)
+
+func TestFileSourceParsesEdgeList(t *testing.T) {
+	input := `# recorded stream
+1 2 0.5
+
+2 3 -1.25
+# trailing comment
+10 11 3
+`
+	src := NewReaderSource("test", strings.NewReader(input))
+	got, err := Drain(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Update{
+		{A: 1, B: 2, Delta: 0.5},
+		{A: 2, B: 3, Delta: -1.25},
+		{A: 10, B: 11, Delta: 3},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d updates, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("update %d: got %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	if _, err := src.Next(); !errors.Is(err, io.EOF) {
+		t.Fatalf("Next after drain = %v, want io.EOF", err)
+	}
+}
+
+func TestFileSourceReportsLineOnError(t *testing.T) {
+	src := NewReaderSource("bad", strings.NewReader("1 2 0.5\n1 junk 2\n"))
+	if _, err := src.Next(); err != nil {
+		t.Fatal(err)
+	}
+	_, err := src.Next()
+	if err == nil || !strings.Contains(err.Error(), "bad:2") {
+		t.Fatalf("error = %v, want one mentioning bad:2", err)
+	}
+}
+
+func TestWriteUpdatesRoundTrips(t *testing.T) {
+	updates := []Update{{A: 1, B: 2, Delta: 0.125}, {A: 3, B: 4, Delta: -2}}
+	var b strings.Builder
+	if n, err := WriteUpdates(&b, updates); err != nil || n != 2 {
+		t.Fatalf("WriteUpdates = %d, %v", n, err)
+	}
+	got, err := Drain(NewReaderSource("roundtrip", strings.NewReader(b.String())))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range updates {
+		if got[i] != updates[i] {
+			t.Errorf("update %d: got %+v, want %+v", i, got[i], updates[i])
+		}
+	}
+}
+
+func TestSyntheticDeterministicAndBounded(t *testing.T) {
+	cfg := SynthConfig{Vertices: 50, Updates: 200, Seed: 7, Skew: 1.5, NegativeFraction: 0.2}
+	a, err := Drain(MustSynthetic(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := Drain(MustSynthetic(cfg))
+	if len(a) != 200 {
+		t.Fatalf("generated %d updates, want 200", len(a))
+	}
+	negatives := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("streams diverge at %d: %+v vs %+v", i, a[i], b[i])
+		}
+		u := a[i]
+		if u.A == u.B {
+			t.Fatalf("self-loop generated: %+v", u)
+		}
+		if u.A < 0 || int(u.A) >= cfg.Vertices || u.B < 0 || int(u.B) >= cfg.Vertices {
+			t.Fatalf("vertex out of range: %+v", u)
+		}
+		if u.Delta == 0 {
+			t.Fatalf("zero delta generated: %+v", u)
+		}
+		if u.Delta < 0 {
+			negatives++
+		}
+	}
+	if negatives == 0 || negatives == len(a) {
+		t.Fatalf("negative mix degenerate: %d/%d", negatives, len(a))
+	}
+}
+
+func TestSyntheticSeedChangesStream(t *testing.T) {
+	a, _ := Drain(MustSynthetic(SynthConfig{Vertices: 50, Updates: 100, Seed: 1}))
+	b, _ := Drain(MustSynthetic(SynthConfig{Vertices: 50, Updates: 100, Seed: 2}))
+	same := true
+	for i := range a {
+		if a[i] != b[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+func TestSyntheticValidation(t *testing.T) {
+	if _, err := NewSynthetic(SynthConfig{Vertices: 1}); err == nil {
+		t.Error("want error for 1 vertex")
+	}
+	if _, err := NewSynthetic(SynthConfig{Vertices: 10, NegativeFraction: 1}); err == nil {
+		t.Error("want error for negative fraction 1")
+	}
+}
+
+func TestLimitSource(t *testing.T) {
+	src := NewLimitSource(MustSynthetic(SynthConfig{Vertices: 10, Seed: 3}), 5)
+	got, err := Drain(src)
+	if err != nil || len(got) != 5 {
+		t.Fatalf("Drain = %d updates, %v; want 5, nil", len(got), err)
+	}
+}
+
+func TestReplayBatchingAndStats(t *testing.T) {
+	src := MustSynthetic(SynthConfig{Vertices: 20, Updates: 105, Seed: 11, NegativeFraction: 0.3})
+	eng := core.MustNew(core.Config{T: 1.5, Nmax: 4})
+	var sink core.CountingSink
+	r := NewReplay(src, eng, &sink)
+
+	for !r.Done() {
+		n, err := r.Batch(25)
+		if err != nil && !errors.Is(err, io.EOF) {
+			t.Fatal(err)
+		}
+		if n == 0 && !errors.Is(err, io.EOF) {
+			t.Fatal("empty batch without EOF")
+		}
+	}
+	st := r.Stats()
+	if st.Updates != 105 {
+		t.Fatalf("Updates = %d, want 105", st.Updates)
+	}
+	if st.Batches != 5 { // 4 full batches of 25 plus the final 5
+		t.Fatalf("Batches = %d, want 5", st.Batches)
+	}
+	if st.Events != sink.Total() {
+		t.Fatalf("stats events %d != sink total %d", st.Events, sink.Total())
+	}
+	if st.Elapsed <= 0 || st.UpdatesPerSecond() <= 0 {
+		t.Fatalf("degenerate timing stats: %+v", st)
+	}
+	if st.MinBatchLatency <= 0 || st.MaxBatchLatency < st.MinBatchLatency {
+		t.Fatalf("degenerate latency stats: %+v", st)
+	}
+	if _, err := r.Batch(1); !errors.Is(err, io.EOF) {
+		t.Fatalf("Batch after exhaustion = %v, want io.EOF", err)
+	}
+}
+
+func TestNewReplayNilSinkKeepsInstalledSink(t *testing.T) {
+	eng := core.MustNew(core.Config{T: 3, Nmax: 4})
+	var mine core.CountingSink
+	eng.SetSink(&mine)
+	r := NewReplay(NewSliceSource([]Update{{A: 1, B: 2, Delta: 5}}), eng, nil)
+	if r.Sink() != &mine {
+		t.Fatal("NewReplay(nil sink) replaced the engine's installed sink")
+	}
+	if _, err := r.Run(8); err != nil {
+		t.Fatal(err)
+	}
+	if mine.Became != 1 {
+		t.Fatalf("installed sink saw %d became events, want 1", mine.Became)
+	}
+}
+
+func TestReplayRunMatchesSliceModeEngine(t *testing.T) {
+	cfg := SynthConfig{Vertices: 15, Updates: 300, Seed: 42, NegativeFraction: 0.25}
+	engineCfg := core.Config{T: 2, Nmax: 4}
+
+	// Reference: slice-returning engine over the same stream.
+	refUpdates, _ := Drain(MustSynthetic(cfg))
+	ref := core.MustNew(engineCfg)
+	refEvents := ref.ProcessAll(refUpdates)
+
+	eng := core.MustNew(engineCfg)
+	r := NewReplay(MustSynthetic(cfg), eng, nil)
+	st, err := r.Run(32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Updates != 300 {
+		t.Fatalf("Updates = %d, want 300", st.Updates)
+	}
+	if int(st.Events) != refEvents {
+		t.Fatalf("replay produced %d events, slice-mode reference %d", st.Events, refEvents)
+	}
+	refKeys := ref.OutputDenseKeys()
+	gotKeys := eng.OutputDenseKeys()
+	if !slices.Equal(gotKeys, refKeys) {
+		t.Fatalf("output-dense sets differ: %v vs %v", gotKeys, refKeys)
+	}
+}
