@@ -5,12 +5,16 @@ import (
 	"fmt"
 
 	"dyndens/internal/core"
+	"dyndens/internal/shard"
 	"dyndens/internal/stream"
 )
 
 // cmdBench replays a seeded synthetic stream end-to-end (generator → replay →
 // engine → counting sink) and prints the throughput/latency summary that
-// serves as the repo's performance baseline.
+// serves as the repo's performance baseline. With -shards K the stream is
+// driven through the sharded engine instead, reporting aggregate wall-clock
+// throughput plus per-shard busy time, so the single-threaded (K=0) and
+// sharded paths can be benchmarked side by side.
 //
 // Note the threshold/workload interplay: weights accumulate for the whole
 // run, so a threshold far below the weight of the hottest edges (high -skew
@@ -21,7 +25,8 @@ func cmdBench(args []string) error {
 	fs := flag.NewFlagSet("dyndens bench", flag.ExitOnError)
 	newSynth := synthFlags(fs)
 	batch := fs.Int("batch", 256, "micro-batch size for the replay driver")
-	newEngine := engineFlags(fs)
+	shards := fs.Int("shards", 0, "partition the engine across K workers (0 = single-threaded)")
+	newEngineCfg := engineFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -34,20 +39,49 @@ func cmdBench(args []string) error {
 	if err != nil {
 		return err
 	}
-	eng, err := newEngine()
+	engCfg, err := newEngineCfg()
 	if err != nil {
 		return err
 	}
+	if *shards < 0 {
+		return fmt.Errorf("bench: -shards must be ≥ 0, got %d", *shards)
+	}
 
 	sink := &core.CountingSink{}
+	header := func(cfg core.Config, extra string) {
+		fmt.Printf("bench: %d vertices, %d updates (seed=%d skew=%g neg=%g mean=%g) | %s T=%g Nmax=%d δit=%.4g batch=%d%s\n",
+			synthCfg.Vertices, synthCfg.Updates, synthCfg.Seed, synthCfg.Skew, synthCfg.NegativeFraction, synthCfg.MeanDelta,
+			cfg.Measure.Name(), cfg.T, cfg.Nmax, cfg.DeltaIt, *batch, extra)
+	}
+
+	if *shards > 0 {
+		se, err := shard.New(shard.Config{Shards: *shards, Engine: engCfg})
+		if err != nil {
+			return err
+		}
+		defer se.Close()
+		st, err := stream.NewShardReplay(src, se, sink).Run(*batch)
+		if err != nil {
+			return err
+		}
+		stats := se.Stats()
+		header(se.Config().Engine.WithDefaults(), fmt.Sprintf(" shards=%d", *shards))
+		fmt.Println(st)
+		fmt.Printf("sink:   became=%d ceased=%d (net output-dense=%d, deduped=%d)\n",
+			sink.Became, sink.Ceased, se.OutputDenseCount(), stats.DedupedEvents)
+		fmt.Println(shardedSummary(stats))
+		return nil
+	}
+
+	eng, err := core.New(engCfg)
+	if err != nil {
+		return err
+	}
 	st, err := stream.NewReplay(src, eng, sink).Run(*batch)
 	if err != nil {
 		return err
 	}
-	cfg := eng.Config()
-	fmt.Printf("bench: %d vertices, %d updates (seed=%d skew=%g neg=%g mean=%g) | %s T=%g Nmax=%d δit=%.4g batch=%d\n",
-		synthCfg.Vertices, synthCfg.Updates, synthCfg.Seed, synthCfg.Skew, synthCfg.NegativeFraction, synthCfg.MeanDelta,
-		cfg.Measure.Name(), cfg.T, cfg.Nmax, cfg.DeltaIt, *batch)
+	header(eng.Config(), "")
 	fmt.Println(st)
 	fmt.Printf("sink:   became=%d ceased=%d (net output-dense=%d)\n",
 		sink.Became, sink.Ceased, eng.OutputDenseCount())

@@ -16,9 +16,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"dyndens/internal/core"
 	"dyndens/internal/density"
+	"dyndens/internal/shard"
 	"dyndens/internal/stream"
 )
 
@@ -59,32 +61,34 @@ subcommands:
 }
 
 // engineFlags registers the engine configuration flags shared by run and
-// bench and returns a constructor that builds the engine after parsing.
-func engineFlags(fs *flag.FlagSet) func() (*core.Engine, error) {
+// bench and returns a constructor that builds the configuration after
+// parsing. The configuration feeds either a single core.Engine or the
+// per-worker engines of a sharded deployment (-shards).
+func engineFlags(fs *flag.FlagSet) func() (core.Config, error) {
 	t := fs.Float64("T", 3, "output-density threshold T")
 	nmax := fs.Int("nmax", 5, "maximum subgraph cardinality Nmax")
 	deltaItFrac := fs.Float64("deltait-frac", 0.01, "δ_it as a fraction of its maximum valid value")
 	measure := fs.String("measure", "avgweight", "density measure: avgweight, avgdegree, or sqrt")
 	maxExplore := fs.Bool("maxexplore", true, "enable the MaxExplore heuristic (Section 7.1)")
 	degreePrioritize := fs.Bool("degree-prioritize", false, "enable the DegreePrioritize heuristic (Section 7.2)")
-	return func() (*core.Engine, error) {
+	return func() (core.Config, error) {
 		m, err := measureByName(*measure)
 		if err != nil {
-			return nil, err
+			return core.Config{}, err
 		}
 		// Config.withDefaults silently falls back to 0.01 for out-of-range
 		// fractions; an explicitly set flag should fail loudly instead.
 		if *deltaItFrac <= 0 || *deltaItFrac >= 1 {
-			return nil, fmt.Errorf("-deltait-frac must be in (0, 1), got %g", *deltaItFrac)
+			return core.Config{}, fmt.Errorf("-deltait-frac must be in (0, 1), got %g", *deltaItFrac)
 		}
-		return core.New(core.Config{
+		return core.Config{
 			Measure:                m,
 			T:                      *t,
 			Nmax:                   *nmax,
 			DeltaItFraction:        *deltaItFrac,
 			EnableMaxExplore:       *maxExplore,
 			EnableDegreePrioritize: *degreePrioritize,
-		})
+		}, nil
 	}
 }
 
@@ -128,11 +132,28 @@ func measureByName(name string) (density.Measure, error) {
 // engineSummary formats the engine-side work counters for the end-of-run
 // report.
 func engineSummary(eng *core.Engine) string {
-	s := eng.Stats()
+	return statsSummary(eng.Stats())
+}
+
+func statsSummary(s core.Stats) string {
 	return fmt.Sprintf(
 		"engine: updates=%d (+%d/-%d) events=%d dense=%d stars=%d index-nodes=%d (max %d)\n"+
 			"work:   explorations=%d cheap-explores=%d insertions=%d evictions=%d maxexplore-skips=%d",
 		s.Updates, s.PositiveUpdates, s.NegativeUpdates, s.Events,
 		s.IndexedDense, s.IndexedStars, s.IndexNodes, s.MaxIndexNodes,
 		s.Explorations, s.CheapExplores, s.Insertions, s.Evictions, s.MaxExploreSkips)
+}
+
+// shardedSummary formats the aggregate + per-shard work counters of a sharded
+// deployment. The aggregate sums the per-worker engines, so updates count
+// every (update, shard) application.
+func shardedSummary(st shard.Stats) string {
+	var b strings.Builder
+	b.WriteString(statsSummary(st.Aggregate))
+	fmt.Fprintf(&b, "\nmerge:  merged-events=%d deduped=%d", st.MergedEvents, st.DedupedEvents)
+	for i, ps := range st.PerShard {
+		fmt.Fprintf(&b, "\nshard %d: updates=%d events=%d dense=%d explorations=%d insertions=%d evictions=%d",
+			i, ps.Updates, ps.Events, ps.IndexedDense, ps.Explorations, ps.Insertions, ps.Evictions)
+	}
+	return b.String()
 }

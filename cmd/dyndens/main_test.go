@@ -1,0 +1,204 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"io"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// The golden-file tests pin the CLI surface: a seeded `gen` must produce a
+// byte-identical stream file, and `run` over that stream must report the same
+// events and counters. Regenerate the goldens after an intentional change
+// with:
+//
+//	go test ./cmd/dyndens -run TestGolden -update
+var updateGolden = flag.Bool("update", false, "rewrite the golden files")
+
+// captureStdout runs fn with os.Stdout redirected and returns what it wrote.
+func captureStdout(t *testing.T, fn func() error) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	var buf bytes.Buffer
+	done := make(chan struct{})
+	go func() {
+		io.Copy(&buf, r)
+		close(done)
+	}()
+	fnErr := fn()
+	w.Close()
+	<-done
+	os.Stdout = old
+	if fnErr != nil {
+		t.Fatal(fnErr)
+	}
+	return buf.String()
+}
+
+var replayLine = regexp.MustCompile(`^(replay|shard-replay)\{.*\}$`)
+var shardLoadLine = regexp.MustCompile(`^shard \d+: busy=.*$`)
+
+// normalizeRunOutput makes `dyndens run` output comparable across runs: the
+// throughput/latency lines carry wall-clock timings and are scrubbed, and the
+// per-event lines are sorted (their order within one update depends on map
+// iteration order; the event SET per update is deterministic and the
+// conformance tests in internal/stream pin it much harder).
+func normalizeRunOutput(out string) string {
+	var events, rest []string
+	for _, line := range strings.Split(strings.TrimRight(out, "\n"), "\n") {
+		switch {
+		case strings.HasPrefix(line, "became-output-dense") || strings.HasPrefix(line, "ceased-output-dense"):
+			events = append(events, line)
+		case replayLine.MatchString(line):
+			rest = append(rest, "<replay-stats-scrubbed>")
+		case shardLoadLine.MatchString(line):
+			rest = append(rest, "<shard-load-scrubbed>")
+		default:
+			rest = append(rest, line)
+		}
+	}
+	sort.Strings(events)
+	return strings.Join(append(events, rest...), "\n") + "\n"
+}
+
+func compareGolden(t *testing.T, goldenPath, got string) {
+	t.Helper()
+	if *updateGolden {
+		if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create the golden)", err)
+	}
+	if string(want) != got {
+		t.Errorf("output differs from %s (regenerate with -update if intentional):\n--- want ---\n%s\n--- got ---\n%s", goldenPath, want, got)
+	}
+}
+
+const genArgsStream = "-vertices 12 -updates 120 -seed 7 -neg 0.3 -mean 1.5"
+
+func genArgs(out string) []string {
+	return append(strings.Fields(genArgsStream), "-out", out)
+}
+
+// TestGoldenGen pins the seeded generator's recorded-stream format: same
+// flags, same bytes.
+func TestGoldenGen(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "gen.stream")
+	if err := cmdGen(genArgs(out)); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "gen_small.stream")
+	if *updateGolden {
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create the golden)", err)
+	}
+	if !bytes.Equal(want, got) {
+		t.Errorf("generated stream differs from %s (regenerate with -update if intentional)", golden)
+	}
+}
+
+// TestGoldenRun pins `dyndens run` end to end: events, sink counters, and
+// engine work summary over the golden stream.
+func TestGoldenRun(t *testing.T) {
+	out := captureStdout(t, func() error {
+		return cmdRun([]string{"-input", filepath.Join("testdata", "gen_small.stream"), "-T", "2", "-nmax", "4"})
+	})
+	compareGolden(t, filepath.Join("testdata", "run_small.golden"), normalizeRunOutput(out))
+}
+
+// TestGoldenRunSharded runs the same stream through `run -shards 2`; after
+// normalisation (sorted events, scrubbed timings) the output must match its
+// own golden, whose event lines and counters agree with the single-engine
+// golden by the sharded engine's conformance guarantee.
+func TestGoldenRunSharded(t *testing.T) {
+	out := captureStdout(t, func() error {
+		return cmdRun([]string{"-input", filepath.Join("testdata", "gen_small.stream"), "-T", "2", "-nmax", "4", "-shards", "2"})
+	})
+	compareGolden(t, filepath.Join("testdata", "run_small_sharded.golden"), normalizeRunOutput(out))
+}
+
+// TestRunShardedEventParity cross-checks the two run paths directly: the
+// sorted event lines of -shards 2 must equal the single-engine ones.
+func TestRunShardedEventParity(t *testing.T) {
+	stream := filepath.Join("testdata", "gen_small.stream")
+	eventLines := func(out string) []string {
+		var evs []string
+		for _, line := range strings.Split(out, "\n") {
+			if strings.HasPrefix(line, "became-output-dense") || strings.HasPrefix(line, "ceased-output-dense") {
+				evs = append(evs, line)
+			}
+		}
+		sort.Strings(evs)
+		return evs
+	}
+	single := captureStdout(t, func() error {
+		return cmdRun([]string{"-input", stream, "-T", "2", "-nmax", "4"})
+	})
+	sharded := captureStdout(t, func() error {
+		return cmdRun([]string{"-input", stream, "-T", "2", "-nmax", "4", "-shards", "2"})
+	})
+	a, b := eventLines(single), eventLines(sharded)
+	if len(a) == 0 {
+		t.Fatal("golden stream produced no events; fixture too weak")
+	}
+	if strings.Join(a, "\n") != strings.Join(b, "\n") {
+		t.Errorf("event lines differ between single and sharded run:\n--- single ---\n%s\n--- sharded ---\n%s",
+			strings.Join(a, "\n"), strings.Join(b, "\n"))
+	}
+}
+
+// TestBenchCommandSmoke exercises `dyndens bench` end to end for the
+// single-threaded and sharded paths (the CI smoke matrix runs the same
+// commands at full size).
+func TestBenchCommandSmoke(t *testing.T) {
+	for _, shards := range []string{"0", "1", "4"} {
+		out := captureStdout(t, func() error {
+			return cmdBench([]string{"-vertices", "50", "-updates", "2000", "-seed", "3", "-shards", shards})
+		})
+		if !strings.Contains(out, "bench: 50 vertices, 2000 updates") {
+			t.Errorf("shards=%s: missing bench header in output:\n%s", shards, out)
+		}
+		if shards == "4" {
+			if !strings.Contains(out, "shard 3:") {
+				t.Errorf("shards=4: missing per-shard report in output:\n%s", out)
+			}
+			if !strings.Contains(out, "shard-replay{shards=4") {
+				t.Errorf("shards=4: missing aggregate shard-replay stats in output:\n%s", out)
+			}
+		}
+	}
+}
+
+// TestGenRejectsBadFlags pins gen's validation behaviour.
+func TestGenRejectsBadFlags(t *testing.T) {
+	if err := cmdGen([]string{"-updates", "0"}); err == nil {
+		t.Error("gen -updates 0 succeeded, want error")
+	}
+	if err := cmdGen([]string{"-vertices", "1", "-out", filepath.Join(t.TempDir(), "x")}); err == nil {
+		t.Error("gen -vertices 1 succeeded, want error")
+	}
+}

@@ -8,28 +8,34 @@ import (
 	"strings"
 
 	"dyndens/internal/core"
+	"dyndens/internal/shard"
 	"dyndens/internal/stream"
 	"dyndens/internal/vset"
 )
 
-// cmdRun replays a recorded update stream (file or stdin) through the engine,
+// cmdRun replays a recorded update stream (file or stdin) through the engine
+// — single-threaded by default, sharded across K workers with -shards K —
 // streaming the output-dense changes that pass the configured filter to
 // stdout, and prints the throughput and engine summary at the end.
 func cmdRun(args []string) error {
 	fs := flag.NewFlagSet("dyndens run", flag.ExitOnError)
 	input := fs.String("input", "-", "update stream path (- for stdin), edge-list `a b delta` lines")
 	batch := fs.Int("batch", 256, "micro-batch size for the replay driver")
+	shards := fs.Int("shards", 0, "partition the engine across K workers (0 = single-threaded)")
 	quiet := fs.Bool("quiet", false, "suppress per-event output, print only the summary")
 	minCard := fs.Int("min-card", 0, "only report subgraphs with at least this many vertices")
 	watch := fs.String("watch", "", "comma-separated vertex watchlist; only report subgraphs containing one")
-	newEngine := engineFlags(fs)
+	newEngineCfg := engineFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	eng, err := newEngine()
+	engCfg, err := newEngineCfg()
 	if err != nil {
 		return err
+	}
+	if *shards < 0 {
+		return fmt.Errorf("run: -shards must be ≥ 0, got %d", *shards)
 	}
 	watchSet, err := parseWatchlist(*watch)
 	if err != nil {
@@ -59,6 +65,27 @@ func cmdRun(args []string) error {
 	}
 	filter := &core.FilterSink{Next: inner, MinCardinality: *minCard, Watch: watchSet}
 
+	if *shards > 0 {
+		se, err := shard.New(shard.Config{Shards: *shards, Engine: engCfg})
+		if err != nil {
+			return err
+		}
+		defer se.Close()
+		st, err := stream.NewShardReplay(src, se, filter).Run(*batch)
+		if err != nil {
+			return err
+		}
+		fmt.Println(st)
+		fmt.Printf("sink:   reported=%d (became=%d ceased=%d) filtered-out=%d net-output-dense=%d\n",
+			filter.Passed, counter.Became, counter.Ceased, filter.Dropped, se.OutputDenseCount())
+		fmt.Println(shardedSummary(se.Stats()))
+		return nil
+	}
+
+	eng, err := core.New(engCfg)
+	if err != nil {
+		return err
+	}
 	st, err := stream.NewReplay(src, eng, filter).Run(*batch)
 	if err != nil {
 		return err

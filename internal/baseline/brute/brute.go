@@ -41,10 +41,12 @@ type Params struct {
 }
 
 // EnumerateAll returns every vertex subset C with 2 ≤ |C| ≤ Nmax and
-// dens(C) ≥ T, considering all subsets of the graph's vertex set. Cost is
-// O(C(V, Nmax)); use only on small graphs.
+// dens(C) ≥ T, considering all subsets of the graph's fixed vertex universe
+// (every vertex that ever carried an edge — a currently isolated vertex still
+// participates in supergraphs of too-dense subgraphs). Cost is O(C(V, Nmax));
+// use only on small graphs.
 func EnumerateAll(g *graph.Graph, p Params) []Result {
-	vertices := g.Vertices()
+	vertices := g.KnownVertices()
 	var out []Result
 	var rec func(start int, cur vset.Set, score float64)
 	rec = func(start int, cur vset.Set, score float64) {

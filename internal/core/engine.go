@@ -50,6 +50,12 @@ type Config struct {
 	EnableDegreePrioritize bool
 }
 
+// WithDefaults returns the configuration with default values applied (the
+// configuration an engine built from c would report via Engine.Config). It is
+// what sharded deployments, which hold a Config rather than an Engine, print
+// in their run headers.
+func (c Config) WithDefaults() Config { return c.withDefaults() }
+
 func (c Config) withDefaults() Config {
 	if c.Measure == nil {
 		c.Measure = density.AvgWeight
@@ -123,6 +129,30 @@ type Stats struct {
 	MaxIndexNodes int // high-water mark of IndexNodes
 }
 
+// Add accumulates o into s. It is the aggregation primitive used by sharded
+// deployments, where each worker owns an Engine and the deployment-wide view
+// is the sum of the per-engine counters and gauges. MaxIndexNodes sums too:
+// across engines the meaningful high-water mark is total memory, not the
+// maximum of any one index.
+func (s *Stats) Add(o Stats) {
+	s.Updates += o.Updates
+	s.PositiveUpdates += o.PositiveUpdates
+	s.NegativeUpdates += o.NegativeUpdates
+	s.Explorations += o.Explorations
+	s.ExploreAll += o.ExploreAll
+	s.CheapExplores += o.CheapExplores
+	s.Insertions += o.Insertions
+	s.Evictions += o.Evictions
+	s.StarInsertions += o.StarInsertions
+	s.MaxExploreSkips += o.MaxExploreSkips
+	s.DegreeSkips += o.DegreeSkips
+	s.Events += o.Events
+	s.IndexedDense += o.IndexedDense
+	s.IndexedStars += o.IndexedStars
+	s.IndexNodes += o.IndexNodes
+	s.MaxIndexNodes += o.MaxIndexNodes
+}
+
 // Engine is a DynDens instance. It is not safe for concurrent use; the update
 // stream must be processed sequentially (as in the paper).
 type Engine struct {
@@ -145,6 +175,7 @@ type Engine struct {
 	// Per-update scratch state (valid during Process only).
 	a, b        Vertex
 	delta       float64
+	seedPairs   bool
 	maxIter     int
 	maxExplore  int // MaxExplore heuristic cap (Nmax+1 = unlimited)
 	maxExploreA int
@@ -230,11 +261,23 @@ func (e *Engine) finishEmit() []Event {
 // it returns the resulting changes to the output-dense subgraph set; with a
 // sink installed (SetSink) the changes are pushed to the sink instead and nil
 // is returned. Updates with A == B or Delta == 0 are no-ops.
-func (e *Engine) Process(u Update) []Event {
+func (e *Engine) Process(u Update) []Event { return e.ProcessRouted(u, true) }
+
+// ProcessRouted is Process for engines embedded as workers of a partitioned
+// deployment (internal/shard). seedPairs tells the engine whether it is the
+// designated seeder for this update: only the seeder may admit the base pair
+// {a, b} as a new dense subgraph, which is the root of every discovery chain
+// (exploration and cheap-exploration only ever grow already-indexed
+// subgraphs). A worker that receives every update but seeds only the pairs it
+// owns therefore applies every weight change — keeping its graph exact — while
+// the index/exploration work of discovery partitions across workers by pair
+// ownership. ProcessRouted(u, true) is exactly Process(u).
+func (e *Engine) ProcessRouted(u Update, seedPairs bool) []Event {
 	e.stats.Updates++
 	if u.A == u.B || u.Delta == 0 {
 		return nil
 	}
+	e.seedPairs = seedPairs
 	before, after := e.g.Apply(u)
 	applied := after - before // Delta clamped if the weight would go negative
 	if applied == 0 {
@@ -330,11 +373,15 @@ func (e *Engine) processPositive() {
 	affected := e.ix.DenseContainingEither(a, b)
 	stars := e.ix.StarNodes()
 
-	// Base case: the edge {a, b} itself may have become dense.
-	pair := vset.New(a, b)
-	if e.ix.LookupDense(pair) == nil {
-		if w := e.g.Weight(a, b); e.th.IsDense(w, 2) {
-			e.admit(pair, w, 1)
+	// Base case: the edge {a, b} itself may have become dense. In a routed
+	// deployment only the designated seeder runs this step, so each pair —
+	// and every discovery chain rooted at it — has exactly one owner.
+	if e.seedPairs {
+		pair := vset.New(a, b)
+		if e.ix.LookupDense(pair) == nil {
+			if w := e.g.Weight(a, b); e.th.IsDense(w, 2) {
+				e.admit(pair, w, 1)
+			}
 		}
 	}
 
@@ -352,7 +399,9 @@ func (e *Engine) processPositive() {
 			if !wasOutput && e.th.IsOutputDense(newScore, n) {
 				e.emit(BecameOutputDense, c, newScore)
 			}
-			e.maintainStar(node, newScore, n)
+			if e.maintainStar(node, newScore, n) {
+				e.starEdgeScan(c, newScore, func(c2 vset.Set, s2 float64) { e.admit(c2, s2, 2) })
+			}
 			e.explore(c, newScore, 1)
 		} else {
 			// Contains exactly one endpoint: cheap-explore (lines 6–8).
@@ -436,15 +485,52 @@ func (e *Engine) shouldCheapExplore(c vset.Set, present Vertex) bool {
 
 // maintainStar keeps the invariant that every explicitly indexed dense
 // subgraph that is too-dense carries an ImplicitTooDense family (unless the
-// optimisation is disabled).
-func (e *Engine) maintainStar(node *index.Node, score float64, n int) {
+// optimisation is disabled). It reports whether it created the family: the
+// caller then owes the newly implicit members a discovery pass (starEdgeScan)
+// — exploreStarMembers only covers families that already existed when the
+// update began.
+func (e *Engine) maintainStar(node *index.Node, score float64, n int) bool {
 	if e.cfg.DisableImplicitTooDense {
-		return
+		return false
 	}
 	if n < e.th.Nmax && e.th.IsTooDense(score, n) && !e.ix.HasStar(node) {
 		e.ix.InsertStar(node)
 		e.stats.StarInsertions++
+		return true
 	}
+	return false
+}
+
+// starEdgeScan runs the discovery owed when base's ImplicitTooDense family is
+// first created: the members base∪{u} are only implicit, so an edge {u, v}
+// between two outside vertices can make base∪{u, v} dense with no explicit
+// subgraph to grow it from. Following Section 3.2.3, the base is augmented
+// with whole edges of sufficient weight; each admission is dispatched through
+// admit so it is reported, starred, and explored like any other discovery
+// (admit is e.admit during updates and thresholdAdmit during threshold
+// decreases, which differ in iteration bookkeeping).
+func (e *Engine) starEdgeScan(base vset.Set, score float64, admit func(c vset.Set, score float64)) {
+	n := base.Len()
+	if n+2 > e.th.Nmax {
+		return
+	}
+	minEdge := e.th.MinDenseScore(n+2) - score
+	if minEdge < 0 {
+		minEdge = 0
+	}
+	e.g.EdgesNotIncident(base, func(u, v Vertex, w float64) {
+		if w < minEdge {
+			return
+		}
+		cand := base.Add(u).Add(v)
+		if cand.Len() != n+2 || e.ix.HasDense(cand) {
+			return
+		}
+		s := e.g.Score(cand)
+		if e.th.IsDense(s, n+2) {
+			admit(cand, s)
+		}
+	})
 }
 
 // admit inserts a subgraph discovered to be dense during the current update,
@@ -458,7 +544,9 @@ func (e *Engine) admit(c vset.Set, score float64, iter int) {
 	if e.th.IsOutputDense(score, n) {
 		e.emit(BecameOutputDense, c, score)
 	}
-	e.maintainStar(node, score, n)
+	if e.maintainStar(node, score, n) {
+		e.starEdgeScan(c, score, func(c2 vset.Set, s2 float64) { e.admit(c2, s2, iter+1) })
+	}
 	e.explore(c, score, iter)
 }
 

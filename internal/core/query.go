@@ -77,50 +77,28 @@ func (e *Engine) DenseCount() int { return e.ix.Len() }
 func (e *Engine) ImplicitFamilyCount() int { return e.ix.StarCount() }
 
 // OutputDenseExpanded returns the output-dense subgraphs including the
-// members of ImplicitTooDense families (base ∪ {y} for every vertex y of the
-// graph that is disconnected from the base), de-duplicated against explicit
+// members of ImplicitTooDense families, de-duplicated against explicit
 // entries. It is intended for ground-truth comparisons and small graphs; the
-// expansion can be as large as |V| per family.
+// expansion enumerates every mutually-disconnected extension of each family
+// base, which is exponential in the number of disconnected vertices.
 func (e *Engine) OutputDenseExpanded() []Subgraph {
-	seen := make(map[string]bool)
-	var out []Subgraph
-	add := func(s Subgraph) {
-		k := s.Set.Key()
-		if seen[k] {
-			return
-		}
-		seen[k] = true
-		out = append(out, s)
-	}
-	for _, s := range e.OutputDense() {
-		add(s)
-	}
-	vertices := e.g.Vertices()
-	for _, star := range e.ix.StarNodes() {
-		base := star.Set()
-		card := base.Len() + 1
-		score := star.Score()
-		if card > e.th.Nmax || !e.th.IsOutputDense(score, card) {
-			continue
-		}
-		for _, y := range vertices {
-			if base.Contains(y) || e.g.ScoreWith(base, y) > 0 {
-				continue
-			}
-			add(Subgraph{
-				Set:     base.Add(y),
-				Score:   score,
-				Density: e.th.Density(score, card),
-			})
-		}
-	}
-	sortSubgraphs(out)
-	return out
+	return e.expanded(e.OutputDense(), e.th.IsOutputDense)
 }
 
 // DenseExpanded is Dense including ImplicitTooDense family members; see
 // OutputDenseExpanded for the caveats.
 func (e *Engine) DenseExpanded() []Subgraph {
+	return e.expanded(e.Dense(), e.th.IsDense)
+}
+
+// expanded combines the given explicit subgraphs with every ImplicitTooDense
+// family member passing the include predicate. A family with base C and score
+// s stands for C ∪ Y for every non-empty set Y of vertices that are
+// disconnected from C and from each other: adding such Y leaves the score at
+// s, so C ∪ Y is dense exactly while s clears the larger cardinality's
+// threshold (extensions with internal edges change the score and are indexed
+// explicitly — that is what starEdgeScan and processStar guarantee).
+func (e *Engine) expanded(explicit []Subgraph, include func(score float64, n int) bool) []Subgraph {
 	seen := make(map[string]bool)
 	var out []Subgraph
 	add := func(s Subgraph) {
@@ -131,27 +109,50 @@ func (e *Engine) DenseExpanded() []Subgraph {
 		seen[k] = true
 		out = append(out, s)
 	}
-	for _, s := range e.Dense() {
+	for _, s := range explicit {
 		add(s)
 	}
-	vertices := e.g.Vertices()
+	vertices := e.g.KnownVertices()
 	for _, star := range e.ix.StarNodes() {
 		base := star.Set()
-		card := base.Len() + 1
 		score := star.Score()
-		if card > e.th.Nmax {
-			continue
-		}
+		// Candidates disconnected from the base, in ascending order so each
+		// extension set is enumerated once.
+		var disc []vset.Vertex
 		for _, y := range vertices {
 			if base.Contains(y) || e.g.ScoreWith(base, y) > 0 {
 				continue
 			}
-			add(Subgraph{
-				Set:     base.Add(y),
-				Score:   score,
-				Density: e.th.Density(score, card),
-			})
+			disc = append(disc, y)
 		}
+		var added []vset.Vertex // the extension set Y built so far
+		var rec func(cur vset.Set, start int)
+		rec = func(cur vset.Set, start int) {
+			if cur.Len() >= e.th.Nmax {
+				return
+			}
+			for i := start; i < len(disc); i++ {
+				y := disc[i]
+				mutual := true
+				for _, v := range added {
+					if e.g.Weight(v, y) != 0 {
+						mutual = false
+						break
+					}
+				}
+				if !mutual {
+					continue
+				}
+				ext := cur.Add(y)
+				if include(score, ext.Len()) {
+					add(Subgraph{Set: ext, Score: score, Density: e.th.Density(score, ext.Len())})
+				}
+				added = append(added, y)
+				rec(ext, i+1)
+				added = added[:len(added)-1]
+			}
+		}
+		rec(base, 0)
 	}
 	sortSubgraphs(out)
 	return out

@@ -96,7 +96,9 @@ func (e *Engine) decreaseThreshold(newTh *density.Thresholds) {
 		if !oldTh.IsOutputDense(score, n) && newTh.IsOutputDense(score, n) {
 			e.emit(BecameOutputDense, c, score)
 		}
-		e.maintainStar(node, score, n)
+		if e.maintainStar(node, score, n) {
+			e.starEdgeScan(c, score, func(c2 vset.Set, s2 float64) { e.thresholdAdmit(c2, s2) })
+		}
 	}
 	// Base case (Algorithm 3, lines 6–7): every edge of the graph may now be a
 	// dense subgraph of cardinality 2.
@@ -130,7 +132,9 @@ func (e *Engine) thresholdAdmit(c vset.Set, score float64) {
 	if e.th.IsOutputDense(score, n) {
 		e.emit(BecameOutputDense, c, score)
 	}
-	e.maintainStar(node, score, n)
+	if e.maintainStar(node, score, n) {
+		e.starEdgeScan(c, score, func(c2 vset.Set, s2 float64) { e.thresholdAdmit(c2, s2) })
+	}
 	e.updateExplore(c, score, false)
 }
 

@@ -34,6 +34,11 @@ type Update struct {
 // as no Apply call is in flight.
 type Graph struct {
 	adj map[Vertex]map[Vertex]float64
+	// known remembers every vertex that ever carried an edge. The paper's
+	// vertex universe is fixed; a vertex whose last edge decays away can
+	// still belong to dense subgraphs (supergraphs of too-dense subgraphs
+	// absorb disconnected vertices), so the universe must not shrink.
+	known map[Vertex]bool
 	// edgeCount tracks the number of edges with non-zero weight.
 	edgeCount int
 	// totalWeight tracks the sum of all positive edge weights (diagnostic).
@@ -42,7 +47,10 @@ type Graph struct {
 
 // New returns an empty graph.
 func New() *Graph {
-	return &Graph{adj: make(map[Vertex]map[Vertex]float64)}
+	return &Graph{
+		adj:   make(map[Vertex]map[Vertex]float64),
+		known: make(map[Vertex]bool),
+	}
 }
 
 // Weight returns the current weight of edge {a, b}; absent edges have weight 0.
@@ -120,11 +128,15 @@ func (g *Graph) setWeight(a, b Vertex, w float64) {
 		}
 		return
 	}
+	// A vertex only ever (re)enters adj through adjacency-map creation, so
+	// marking it known here keeps the universe bookkeeping off the hot path.
 	if g.adj[a] == nil {
 		g.adj[a] = make(map[Vertex]float64)
+		g.known[a] = true
 	}
 	if g.adj[b] == nil {
 		g.adj[b] = make(map[Vertex]float64)
+		g.known[b] = true
 	}
 	g.adj[a][b] = w
 	g.adj[b][a] = w
@@ -163,6 +175,20 @@ func (g *Graph) NeighborsSorted(u Vertex) ([]Vertex, []float64) {
 func (g *Graph) Vertices() []Vertex {
 	vs := make([]Vertex, 0, len(g.adj))
 	for v := range g.adj {
+		vs = append(vs, v)
+	}
+	sort.Slice(vs, func(i, j int) bool { return vs[i] < vs[j] })
+	return vs
+}
+
+// KnownVertices returns the fixed vertex universe: every vertex that has ever
+// carried an edge, sorted, including vertices whose edges have since decayed
+// to zero. Ground-truth enumerations and ImplicitTooDense expansions must use
+// this universe — a too-dense subgraph's supergraphs include ones formed with
+// currently isolated vertices.
+func (g *Graph) KnownVertices() []Vertex {
+	vs := make([]Vertex, 0, len(g.known))
+	for v := range g.known {
 		vs = append(vs, v)
 	}
 	sort.Slice(vs, func(i, j int) bool { return vs[i] < vs[j] })
@@ -258,6 +284,9 @@ func (g *Graph) Clone() *Graph {
 			m[v] = w
 		}
 		out.adj[u] = m
+	}
+	for v := range g.known {
+		out.known[v] = true
 	}
 	out.edgeCount = g.edgeCount
 	out.totalWeight = g.totalWeight

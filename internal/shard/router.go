@@ -1,0 +1,82 @@
+// Package shard partitions the DynDens engine across K single-threaded
+// workers, scaling the paper's sequential algorithm to multi-core streaming
+// while preserving its exact output semantics.
+//
+// The design exploits two structural properties of the algorithm:
+//
+//  1. Weight application is O(1) per update, while dense-subgraph maintenance
+//     (exploration, index mutation, event emission) dominates the cost.
+//  2. Every explicitly indexed subgraph is discovered through a chain that
+//     only ever *grows* an already-indexed subgraph, so each chain is rooted
+//     at the admission of a base pair {a, b}.
+//
+// Every worker therefore receives every update and applies it to its own
+// graph replica — the overlap policy for cross-shard edges taken to its
+// correctness limit, so boundary edges (and all discovery context) are exact
+// in every shard — but only the shard that owns the update's canonical
+// endpoint seeds the base pair. Discovery work thus partitions across shards
+// by pair ownership, while each shard maintains (bumps, evicts, reports) only
+// the subgraphs its own chains produced. A sequence-aligned merger collapses
+// the per-shard event streams into one deterministic, duplicate-free total
+// order identical to the single-engine stream (see ShardedEngine).
+package shard
+
+import (
+	"fmt"
+
+	"dyndens/internal/graph"
+	"dyndens/internal/vset"
+)
+
+// Router deterministically assigns vertices — and through their canonical
+// endpoints, updates — to shards. The zero value is not usable; call
+// NewRouter. Routers are immutable and safe for concurrent use.
+type Router struct {
+	shards int
+}
+
+// NewRouter returns a router over k shards (k ≥ 1).
+func NewRouter(k int) (Router, error) {
+	if k < 1 {
+		return Router{}, fmt.Errorf("shard: shard count must be ≥ 1, got %d", k)
+	}
+	return Router{shards: k}, nil
+}
+
+// Shards returns the number of shards routed over.
+func (r Router) Shards() int { return r.shards }
+
+// mix64 is the 64-bit murmur3/splitmix finalizer: a full-avalanche bijection,
+// so consecutive vertex identifiers (the common case — entity ids are dense
+// small integers) spread uniformly across shards instead of striping.
+func mix64(v uint64) uint64 {
+	v ^= v >> 33
+	v *= 0xff51afd7ed558ccd
+	v ^= v >> 33
+	v *= 0xc4ceb9fe1a85ec53
+	v ^= v >> 33
+	return v
+}
+
+// Owner returns the shard that owns vertex v. The assignment is a pure
+// function of (v, Shards()): stable across runs, processes, and platforms.
+func (r Router) Owner(v vset.Vertex) int {
+	return int(mix64(uint64(uint32(v))) % uint64(r.shards))
+}
+
+// Canonical returns the canonical endpoint of an update: the smaller vertex.
+// Both orientations of an edge route identically.
+func Canonical(u graph.Update) vset.Vertex {
+	if u.B < u.A {
+		return u.B
+	}
+	return u.A
+}
+
+// Primary returns the shard that seeds discovery for update u: the owner of
+// its canonical endpoint. Repeated updates to the same edge always route to
+// the same shard, so a pair's discovery chain has a single consistent owner
+// for the lifetime of the stream.
+func (r Router) Primary(u graph.Update) int {
+	return r.Owner(Canonical(u))
+}

@@ -1,0 +1,158 @@
+package shard
+
+import (
+	"math/rand"
+	"testing"
+
+	"dyndens/internal/graph"
+	"dyndens/internal/vset"
+)
+
+func TestNewRouterValidation(t *testing.T) {
+	for _, k := range []int{0, -1, -7} {
+		if _, err := NewRouter(k); err == nil {
+			t.Errorf("NewRouter(%d) = nil error, want error", k)
+		}
+	}
+	r, err := NewRouter(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Shards() != 3 {
+		t.Fatalf("Shards() = %d, want 3", r.Shards())
+	}
+}
+
+// TestRouterStableAssignments pins the vertex→shard mapping for a few
+// vertices. The router is a pure function of (vertex, K); these values must
+// never change across runs, processes, or releases — a silent change would
+// re-partition every deployed stream.
+func TestRouterStableAssignments(t *testing.T) {
+	cases := []struct {
+		k    int
+		want []int // owner of vertices 0..9
+	}{
+		{k: 2, want: []int{0, 0, 1, 0, 1, 1, 1, 1, 1, 1}},
+		{k: 4, want: []int{0, 0, 3, 2, 1, 1, 3, 1, 3, 1}},
+		{k: 8, want: []int{0, 4, 7, 6, 5, 5, 3, 5, 7, 5}},
+	}
+	for _, tc := range cases {
+		r, err := NewRouter(tc.k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v, want := range tc.want {
+			if got := r.Owner(vset.Vertex(v)); got != want {
+				t.Errorf("K=%d: Owner(%d) = %d, want %d", tc.k, v, got, want)
+			}
+		}
+	}
+}
+
+func TestRouterDeterministicAcrossInstances(t *testing.T) {
+	a, _ := NewRouter(4)
+	b, _ := NewRouter(4)
+	for v := vset.Vertex(0); v < 10000; v++ {
+		if a.Owner(v) != b.Owner(v) {
+			t.Fatalf("instances disagree on vertex %d: %d vs %d", v, a.Owner(v), b.Owner(v))
+		}
+	}
+}
+
+func TestRouterOwnerInRange(t *testing.T) {
+	for _, k := range []int{1, 2, 3, 4, 7, 16} {
+		r, _ := NewRouter(k)
+		for v := vset.Vertex(0); v < 5000; v++ {
+			if o := r.Owner(v); o < 0 || o >= k {
+				t.Fatalf("K=%d: Owner(%d) = %d out of range", k, v, o)
+			}
+		}
+	}
+}
+
+// TestRouterPrimaryOrientationInvariant checks that both orientations of an
+// edge route to the same shard: a pair's discovery chain must have a single
+// consistent owner no matter how the stream writes the edge.
+func TestRouterPrimaryOrientationInvariant(t *testing.T) {
+	r, _ := NewRouter(4)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 1000; i++ {
+		a := vset.Vertex(rng.Intn(1000))
+		b := vset.Vertex(rng.Intn(1000))
+		ab := r.Primary(graph.Update{A: a, B: b, Delta: 1})
+		ba := r.Primary(graph.Update{A: b, B: a, Delta: -2})
+		if ab != ba {
+			t.Fatalf("orientation changes primary for {%d,%d}: %d vs %d", a, b, ab, ba)
+		}
+		canonical := a
+		if b < a {
+			canonical = b
+		}
+		if want := r.Owner(canonical); ab != want {
+			t.Fatalf("Primary({%d,%d}) = %d, want owner of canonical endpoint %d = %d", a, b, ab, canonical, want)
+		}
+	}
+}
+
+// TestRouterBalance drives vertex distributions through the router and
+// requires every shard's load to stay within 2× of the ideal even share. Two
+// loads matter: distinct vertices (index partitioning) and update mass under
+// Zipf-skewed endpoint popularity (the paper's entity streams), weighted by
+// how often each vertex is drawn.
+func TestRouterBalance(t *testing.T) {
+	cases := []struct {
+		name     string
+		k        int
+		vertices int
+		samples  int
+		skew     float64 // ≤ 1 means uniform draws
+	}{
+		{name: "distinct/K=4", k: 4, vertices: 10000, samples: 0},
+		{name: "distinct/K=8", k: 8, vertices: 10000, samples: 0},
+		{name: "zipf1.2/K=4", k: 4, vertices: 10000, samples: 200000, skew: 1.2},
+		{name: "zipf1.5/K=2", k: 2, vertices: 10000, samples: 200000, skew: 1.5},
+		{name: "uniform/K=4", k: 4, vertices: 10000, samples: 200000},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r, err := NewRouter(tc.k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			counts := make([]int, tc.k)
+			total := 0
+			if tc.samples == 0 {
+				// Distinct-vertex load: each vertex once.
+				for v := 0; v < tc.vertices; v++ {
+					counts[r.Owner(vset.Vertex(v))]++
+				}
+				total = tc.vertices
+			} else {
+				rng := rand.New(rand.NewSource(99))
+				var zipf *rand.Zipf
+				if tc.skew > 1 {
+					zipf = rand.NewZipf(rng, tc.skew, 1, uint64(tc.vertices-1))
+				}
+				for i := 0; i < tc.samples; i++ {
+					var v vset.Vertex
+					if zipf != nil {
+						v = vset.Vertex(zipf.Uint64())
+					} else {
+						v = vset.Vertex(rng.Intn(tc.vertices))
+					}
+					counts[r.Owner(v)]++
+				}
+				total = tc.samples
+			}
+			ideal := float64(total) / float64(tc.k)
+			for s, c := range counts {
+				if float64(c) > 2*ideal {
+					t.Errorf("shard %d holds %d of %d (ideal %.0f): more than 2x ideal", s, c, total, ideal)
+				}
+				if c == 0 {
+					t.Errorf("shard %d received nothing", s)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,494 @@
+package shard
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"dyndens/internal/core"
+	"dyndens/internal/graph"
+)
+
+// Config configures a ShardedEngine.
+type Config struct {
+	// Shards is the number of single-threaded workers K; must be ≥ 1.
+	Shards int
+	// Engine configures every worker's embedded core.Engine.
+	Engine core.Config
+	// BatchSize is the number of updates broadcast to the workers per batch.
+	// Larger batches amortise channel traffic; smaller ones reduce merge
+	// latency. Defaults to 128.
+	BatchSize int
+	// QueueDepth is the number of batches buffered per worker, bounding how
+	// far fast shards can run ahead of the slowest one (chain ownership is
+	// skewed, so runway absorbs per-shard load bursts). Defaults to 32.
+	QueueDepth int
+}
+
+func (c Config) withDefaults() Config {
+	if c.BatchSize <= 0 {
+		c.BatchSize = 128
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 32
+	}
+	return c
+}
+
+// SeqEvent is one merged output event tagged with the 1-based global sequence
+// number of the update that produced it.
+type SeqEvent struct {
+	Seq   uint64
+	Event core.Event
+}
+
+// SeqSink receives the merged, sequence-numbered event stream. Like
+// core.EventSink, implementations must not call back into the engine; they
+// are invoked from the merge goroutine.
+type SeqSink interface {
+	EmitSeq(ev SeqEvent)
+}
+
+// SeqSinkFunc adapts a plain function to the SeqSink interface.
+type SeqSinkFunc func(ev SeqEvent)
+
+// EmitSeq implements SeqSink.
+func (f SeqSinkFunc) EmitSeq(ev SeqEvent) { f(ev) }
+
+// ShardLoad summarises the work one shard performed.
+type ShardLoad struct {
+	Shard     int
+	Updates   uint64        // updates the worker processed (every shard sees the full stream)
+	Batches   uint64        // batches the worker processed
+	Busy      time.Duration // wall time spent inside Engine.ProcessRouted
+	RawEvents uint64        // events the worker emitted before merge dedup
+}
+
+// Stats aggregates the sharded deployment's work counters.
+type Stats struct {
+	// Aggregate is the sum of the per-shard engine counters. Updates counts
+	// every (update, shard) application — K× the stream length — and index
+	// gauges sum worker index sizes, so duplicated holdings across shards
+	// show up as Aggregate.IndexedDense exceeding a single engine's.
+	Aggregate core.Stats
+	// PerShard holds each worker engine's own counters.
+	PerShard []core.Stats
+	// Loads holds the per-shard throughput accounting.
+	Loads []ShardLoad
+	// MergedEvents counts events forwarded downstream after deduplication;
+	// this matches the single-engine event count on the same stream.
+	MergedEvents uint64
+	// DedupedEvents counts duplicate events dropped at the merge barrier
+	// (the same subgraph transition discovered by more than one shard).
+	DedupedEvents uint64
+}
+
+// batch is one broadcast unit: a contiguous run of the update stream.
+type batch struct {
+	firstSeq uint64
+	updates  []core.Update
+}
+
+// workerResult carries one shard's per-update events for one batch.
+type workerResult struct {
+	shard    int
+	firstSeq uint64
+	events   [][]core.Event
+	busy     time.Duration
+}
+
+type worker struct {
+	id  int
+	eng *core.Engine
+	in  chan batch
+}
+
+// ShardedEngine partitions DynDens across K single-threaded core.Engine
+// workers and merges their event streams into one deterministic,
+// sequence-numbered total order that matches the single-engine stream on the
+// same updates.
+//
+// Every worker receives every update (keeping each graph replica exact, so
+// dense subgraphs that span shard boundaries stay correct for any cardinality
+// ≤ Nmax); the router designates one shard per update — the owner of its
+// canonical endpoint — as the discovery seeder. Because discovery chains only
+// ever grow already-indexed subgraphs, the expensive exploration and index
+// maintenance partitions across shards by chain ownership, while the same
+// subgraph reached from differently-owned roots is collapsed by the merger's
+// output-dense tracking set.
+//
+// Process/ProcessAll are asynchronous and must be called from a single
+// producer goroutine; Flush, Close, Stats, and the query methods may be
+// called from any goroutine and block until all accepted updates are merged.
+//
+// Locking: produceMu serialises producers and flushers — it owns the staging
+// batch and the exclusive right to send on the worker channels — while mu
+// owns the merge-side state (issued/merged barrier, tracked set, loads). No
+// goroutine ever blocks on a channel while holding mu, so the merger can
+// always drain worker results; that invariant is what makes the pipeline
+// deadlock-free under backpressure.
+type ShardedEngine struct {
+	cfg     Config
+	router  Router
+	workers []*worker
+	results chan workerResult
+
+	// Producer state.
+	produceMu sync.Mutex
+	cur       batch
+	nextSeq   uint64 // sequence number the next accepted update will get
+	closed    bool
+
+	// Merge-barrier and merge state.
+	mu     sync.Mutex
+	cond   *sync.Cond
+	issued uint64 // batches dispatched
+	merged uint64 // batches merged
+
+	sink      core.EventSink
+	seqSink   SeqSink
+	tracked   map[string]bool // currently output-dense set keys, post-merge
+	pending   map[uint64][]workerResult
+	nextMerge uint64 // firstSeq of the next batch to merge
+	mergedEv  uint64
+	dedupedEv uint64
+	loads     []ShardLoad
+
+	workerWG sync.WaitGroup
+	mergerWG sync.WaitGroup
+}
+
+// New creates a sharded engine and starts its worker and merger goroutines.
+// The engine must be Closed to release them.
+func New(cfg Config) (*ShardedEngine, error) {
+	cfg = cfg.withDefaults()
+	router, err := NewRouter(cfg.Shards)
+	if err != nil {
+		return nil, err
+	}
+	se := &ShardedEngine{
+		cfg:       cfg,
+		router:    router,
+		results:   make(chan workerResult, cfg.Shards*2),
+		nextSeq:   1,
+		nextMerge: 1,
+		tracked:   make(map[string]bool),
+		pending:   make(map[uint64][]workerResult),
+		loads:     make([]ShardLoad, cfg.Shards),
+	}
+	se.cond = sync.NewCond(&se.mu)
+	for i := 0; i < cfg.Shards; i++ {
+		se.loads[i].Shard = i
+		eng, err := core.New(cfg.Engine)
+		if err != nil {
+			return nil, err
+		}
+		se.workers = append(se.workers, &worker{
+			id:  i,
+			eng: eng,
+			in:  make(chan batch, cfg.QueueDepth),
+		})
+	}
+	for _, w := range se.workers {
+		se.workerWG.Add(1)
+		go se.runWorker(w)
+	}
+	se.mergerWG.Add(1)
+	go se.runMerger()
+	return se, nil
+}
+
+// MustNew is New that panics on error; intended for tests and examples.
+func MustNew(cfg Config) *ShardedEngine {
+	se, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return se
+}
+
+// Config returns the effective configuration (with defaults applied).
+func (se *ShardedEngine) Config() Config { return se.cfg }
+
+// Router returns the vertex→shard router.
+func (se *ShardedEngine) Router() Router { return se.router }
+
+// SetSink installs the destination for the merged event stream. It must be
+// called before the first Process. The sink observes the deduplicated events
+// in the deterministic merged order; it is invoked from the merge goroutine
+// and must not call back into the engine.
+func (se *ShardedEngine) SetSink(s core.EventSink) {
+	se.mu.Lock()
+	defer se.mu.Unlock()
+	se.sink = s
+}
+
+// SetSeqSink installs a sequence-aware sink; it may be combined with SetSink.
+// Like SetSink it must be called before the first Process.
+func (se *ShardedEngine) SetSeqSink(s SeqSink) {
+	se.mu.Lock()
+	defer se.mu.Unlock()
+	se.seqSink = s
+}
+
+// Process accepts one update for asynchronous processing. Events reach the
+// installed sinks after the update's batch clears the merge barrier; call
+// Flush to force and await completion. Process must not be called after
+// Close, and is single-producer: concurrent Process calls are not allowed
+// (concurrent Flush/Stats/queries are).
+func (se *ShardedEngine) Process(u core.Update) {
+	se.produceMu.Lock()
+	defer se.produceMu.Unlock()
+	if se.closed {
+		panic("shard: Process called after Close")
+	}
+	if se.cur.updates == nil {
+		se.cur = batch{firstSeq: se.nextSeq, updates: make([]core.Update, 0, se.cfg.BatchSize)}
+	}
+	se.cur.updates = append(se.cur.updates, u)
+	se.nextSeq++
+	if len(se.cur.updates) >= se.cfg.BatchSize {
+		se.sendLocked()
+	}
+}
+
+// ProcessAll accepts a sequence of updates; the slice may be reused by the
+// caller as soon as ProcessAll returns.
+func (se *ShardedEngine) ProcessAll(updates []core.Update) {
+	for _, u := range updates {
+		se.Process(u)
+	}
+}
+
+// sendLocked broadcasts the staged batch to every worker. It requires
+// produceMu (never mu): the sends may block on worker backpressure, and the
+// merger must stay free to drain results in the meantime.
+func (se *ShardedEngine) sendLocked() {
+	if len(se.cur.updates) == 0 {
+		return
+	}
+	b := se.cur
+	se.cur = batch{}
+	se.mu.Lock()
+	se.issued++
+	se.mu.Unlock()
+	for _, w := range se.workers {
+		w.in <- b
+	}
+}
+
+// quiesceLocked dispatches any partial batch and waits until every issued
+// batch has been merged. It requires produceMu, which also excludes new
+// dispatches: when it returns, all workers are idle and their state is safe
+// to read until produceMu is released.
+func (se *ShardedEngine) quiesceLocked() {
+	se.sendLocked()
+	se.mu.Lock()
+	for se.merged != se.issued {
+		se.cond.Wait()
+	}
+	se.mu.Unlock()
+}
+
+// Flush dispatches any partially filled batch and blocks until every accepted
+// update has been processed by all shards and merged downstream.
+func (se *ShardedEngine) Flush() {
+	se.produceMu.Lock()
+	defer se.produceMu.Unlock()
+	se.quiesceLocked()
+}
+
+// Close flushes outstanding work and stops the worker and merger goroutines.
+// It is idempotent; Process must not be called afterwards.
+func (se *ShardedEngine) Close() error {
+	se.produceMu.Lock()
+	defer se.produceMu.Unlock()
+	if se.closed {
+		return nil
+	}
+	se.quiesceLocked()
+	se.closed = true
+	for _, w := range se.workers {
+		close(w.in)
+	}
+	se.workerWG.Wait()
+	close(se.results)
+	se.mergerWG.Wait()
+	return nil
+}
+
+// Updates returns the number of updates accepted so far.
+func (se *ShardedEngine) Updates() uint64 {
+	se.produceMu.Lock()
+	defer se.produceMu.Unlock()
+	return se.nextSeq - 1
+}
+
+// Stats flushes and returns the deployment-wide statistics. The per-engine
+// reads are safe: after the quiesce barrier every worker is idle, all its
+// writes happen-before the merger's barrier signal, and produceMu excludes
+// new dispatches until Stats returns.
+func (se *ShardedEngine) Stats() Stats {
+	se.produceMu.Lock()
+	defer se.produceMu.Unlock()
+	se.quiesceLocked()
+	se.mu.Lock()
+	out := Stats{
+		PerShard:      make([]core.Stats, len(se.workers)),
+		Loads:         append([]ShardLoad(nil), se.loads...),
+		MergedEvents:  se.mergedEv,
+		DedupedEvents: se.dedupedEv,
+	}
+	se.mu.Unlock()
+	for i, w := range se.workers {
+		ps := w.eng.Stats()
+		out.PerShard[i] = ps
+		out.Aggregate.Add(ps)
+	}
+	return out
+}
+
+// OutputDenseKeys flushes and returns the canonical set keys of the merged
+// output-dense result set — the view a downstream consumer of the merged
+// event stream holds — sorted lexicographically.
+func (se *ShardedEngine) OutputDenseKeys() []string {
+	se.produceMu.Lock()
+	defer se.produceMu.Unlock()
+	se.quiesceLocked()
+	se.mu.Lock()
+	defer se.mu.Unlock()
+	keys := make([]string, 0, len(se.tracked))
+	for k := range se.tracked {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// OutputDenseCount flushes and returns the size of the merged output-dense
+// result set.
+func (se *ShardedEngine) OutputDenseCount() int {
+	se.produceMu.Lock()
+	defer se.produceMu.Unlock()
+	se.quiesceLocked()
+	se.mu.Lock()
+	defer se.mu.Unlock()
+	return len(se.tracked)
+}
+
+// Graph flushes and returns shard 0's graph replica. Every replica applies
+// the full update stream, so any one of them is the exact current graph; the
+// returned graph must only be read before the next Process call.
+func (se *ShardedEngine) Graph() *graph.Graph {
+	se.produceMu.Lock()
+	defer se.produceMu.Unlock()
+	se.quiesceLocked()
+	return se.workers[0].eng.Graph()
+}
+
+func (se *ShardedEngine) runWorker(w *worker) {
+	defer se.workerWG.Done()
+	for b := range w.in {
+		start := time.Now()
+		per := make([][]core.Event, len(b.updates))
+		for i, u := range b.updates {
+			per[i] = w.eng.ProcessRouted(u, se.router.Primary(u) == w.id)
+		}
+		se.results <- workerResult{
+			shard:    w.id,
+			firstSeq: b.firstSeq,
+			events:   per,
+			busy:     time.Since(start),
+		}
+	}
+}
+
+// runMerger aligns the per-shard result streams batch by batch and merges
+// them in stream order into the sinks. The merger acquires only mu, and no
+// mu holder ever blocks on a channel, so the drain always makes progress.
+func (se *ShardedEngine) runMerger() {
+	defer se.mergerWG.Done()
+	for res := range se.results {
+		se.mu.Lock()
+		se.pending[res.firstSeq] = append(se.pending[res.firstSeq], res)
+		for {
+			ready := se.pending[se.nextMerge]
+			if len(ready) != len(se.workers) {
+				break
+			}
+			delete(se.pending, se.nextMerge)
+			se.mergeLocked(ready)
+			se.nextMerge += uint64(len(ready[0].events))
+			se.merged++
+			se.cond.Broadcast()
+		}
+		se.mu.Unlock()
+	}
+}
+
+// mergeLocked merges one batch: for each update, the events of all shards are
+// collected, canonically ordered, and deduplicated against the tracked
+// output-dense set, so the same subgraph transition discovered by several
+// shards is forwarded exactly once. Within one update every event shares a
+// kind (positive updates only emit Became, negative only Ceased), which makes
+// the dedup outcome independent of shard arrival order.
+func (se *ShardedEngine) mergeLocked(ready []workerResult) {
+	firstSeq := ready[0].firstSeq
+	n := len(ready[0].events)
+	for _, res := range ready {
+		load := &se.loads[res.shard]
+		load.Batches++
+		load.Busy += res.busy
+		load.Updates += uint64(n)
+		for _, evs := range res.events {
+			load.RawEvents += uint64(len(evs))
+		}
+	}
+	var buf []core.Event
+	for i := 0; i < n; i++ {
+		seq := firstSeq + uint64(i)
+		buf = buf[:0]
+		for _, res := range ready {
+			buf = append(buf, res.events[i]...)
+		}
+		if len(buf) == 0 {
+			continue
+		}
+		sort.Slice(buf, func(a, b int) bool {
+			if buf[a].Kind != buf[b].Kind {
+				return buf[a].Kind < buf[b].Kind
+			}
+			return buf[a].Set.Key() < buf[b].Set.Key()
+		})
+		for _, ev := range buf {
+			k := ev.Set.Key()
+			switch ev.Kind {
+			case core.BecameOutputDense:
+				if se.tracked[k] {
+					se.dedupedEv++
+					continue
+				}
+				se.tracked[k] = true
+			case core.CeasedOutputDense:
+				if !se.tracked[k] {
+					se.dedupedEv++
+					continue
+				}
+				delete(se.tracked, k)
+			}
+			se.mergedEv++
+			if se.sink != nil {
+				se.sink.Emit(ev)
+			}
+			if se.seqSink != nil {
+				se.seqSink.EmitSeq(SeqEvent{Seq: seq, Event: ev})
+			}
+		}
+	}
+}
+
+// String summarises the deployment.
+func (se *ShardedEngine) String() string {
+	return fmt.Sprintf("sharded{shards=%d batch=%d}", se.cfg.Shards, se.cfg.BatchSize)
+}

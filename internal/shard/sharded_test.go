@@ -1,0 +1,272 @@
+package shard
+
+import (
+	"fmt"
+	"math/rand"
+	"slices"
+	"sync"
+	"testing"
+
+	"dyndens/internal/core"
+)
+
+// testStream generates a reproducible random update stream without importing
+// internal/stream (which imports this package).
+func testStream(seed int64, vertices, n int, negFrac float64) []core.Update {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]core.Update, 0, n)
+	for i := 0; i < n; i++ {
+		a := core.Vertex(rng.Intn(vertices))
+		b := core.Vertex(rng.Intn(vertices))
+		for b == a {
+			b = core.Vertex(rng.Intn(vertices))
+		}
+		delta := rng.ExpFloat64() * 1.5
+		if rng.Float64() < negFrac {
+			delta = -delta
+		}
+		out = append(out, core.Update{A: a, B: b, Delta: delta})
+	}
+	return out
+}
+
+var testEngineCfg = core.Config{T: 2, Nmax: 4}
+
+// seqCollector records the merged sequence-numbered stream.
+type seqCollector struct {
+	mu     sync.Mutex
+	events []SeqEvent
+}
+
+func (c *seqCollector) EmitSeq(ev SeqEvent) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.events = append(c.events, ev)
+}
+
+func (c *seqCollector) snapshot() []SeqEvent {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return slices.Clone(c.events)
+}
+
+// eventKey is the canonical comparison form of an event.
+func eventKey(ev core.Event) string {
+	return fmt.Sprintf("%d|%s", ev.Kind, ev.Set.Key())
+}
+
+// perSeqKeys groups a merged stream by sequence number into sorted canonical
+// keys per update.
+func perSeqKeys(events []SeqEvent) map[uint64][]string {
+	out := make(map[uint64][]string)
+	for _, ev := range events {
+		out[ev.Seq] = append(out[ev.Seq], eventKey(ev.Event))
+	}
+	for _, keys := range out {
+		slices.Sort(keys)
+	}
+	return out
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{Shards: 0, Engine: testEngineCfg}); err == nil {
+		t.Error("want error for 0 shards")
+	}
+	if _, err := New(Config{Shards: 2, Engine: core.Config{T: -1, Nmax: 4}}); err == nil {
+		t.Error("want error for invalid engine config")
+	}
+}
+
+// TestSingleShardMatchesEngine: with K=1 the sharded engine is one core
+// engine behind the batching machinery — its merged stream must match the
+// plain engine's update for update, and nothing may be deduplicated.
+func TestSingleShardMatchesEngine(t *testing.T) {
+	updates := testStream(1, 10, 500, 0.3)
+
+	ref := core.MustNew(testEngineCfg)
+	wantPerSeq := make(map[uint64][]string)
+	for i, u := range updates {
+		for _, ev := range ref.Process(u) {
+			seq := uint64(i + 1)
+			wantPerSeq[seq] = append(wantPerSeq[seq], eventKey(ev))
+		}
+	}
+	for _, keys := range wantPerSeq {
+		slices.Sort(keys)
+	}
+
+	se := MustNew(Config{Shards: 1, Engine: testEngineCfg, BatchSize: 7})
+	defer se.Close()
+	var col seqCollector
+	se.SetSeqSink(&col)
+	se.ProcessAll(updates)
+	se.Flush()
+
+	gotPerSeq := perSeqKeys(col.snapshot())
+	if len(gotPerSeq) != len(wantPerSeq) {
+		t.Fatalf("merged stream covers %d updates with events, reference %d", len(gotPerSeq), len(wantPerSeq))
+	}
+	for seq, want := range wantPerSeq {
+		if !slices.Equal(gotPerSeq[seq], want) {
+			t.Fatalf("update %d: merged %v != reference %v", seq, gotPerSeq[seq], want)
+		}
+	}
+	st := se.Stats()
+	if st.DedupedEvents != 0 {
+		t.Fatalf("K=1 deduplicated %d events, want 0", st.DedupedEvents)
+	}
+	if st.MergedEvents != ref.Stats().Events {
+		t.Fatalf("merged %d events, reference emitted %d", st.MergedEvents, ref.Stats().Events)
+	}
+	if !slices.Equal(se.OutputDenseKeys(), ref.OutputDenseKeys()) {
+		t.Fatalf("tracked set %v != reference %v", se.OutputDenseKeys(), ref.OutputDenseKeys())
+	}
+}
+
+// TestMergedStreamDeterministic: two runs over the same stream must produce
+// byte-identical merged streams (same events, same order, same sequence
+// numbers) regardless of goroutine scheduling.
+func TestMergedStreamDeterministic(t *testing.T) {
+	updates := testStream(2, 12, 600, 0.3)
+	run := func(batchSize int) []SeqEvent {
+		se := MustNew(Config{Shards: 4, Engine: testEngineCfg, BatchSize: batchSize})
+		defer se.Close()
+		var col seqCollector
+		se.SetSeqSink(&col)
+		se.ProcessAll(updates)
+		se.Flush()
+		return col.snapshot()
+	}
+	a := run(64)
+	b := run(64)
+	c := run(17) // different batching must not change the merged stream
+	for name, other := range map[string][]SeqEvent{"same-batch": b, "batch=17": c} {
+		if len(a) != len(other) {
+			t.Fatalf("%s: stream lengths differ: %d vs %d", name, len(a), len(other))
+		}
+		for i := range a {
+			if a[i].Seq != other[i].Seq || eventKey(a[i].Event) != eventKey(other[i].Event) {
+				t.Fatalf("%s: streams diverge at %d: seq %d %s vs seq %d %s",
+					name, i, a[i].Seq, eventKey(a[i].Event), other[i].Seq, eventKey(other[i].Event))
+			}
+		}
+	}
+}
+
+// TestShardedMatchesSingleEngineResultSet: the merged result set across shard
+// counts must equal the single engine's explicit output-dense set.
+func TestShardedMatchesSingleEngineResultSet(t *testing.T) {
+	updates := testStream(3, 10, 500, 0.35)
+	ref := core.MustNew(testEngineCfg)
+	refEvents := 0
+	for _, u := range updates {
+		refEvents += len(ref.Process(u))
+	}
+	want := ref.OutputDenseKeys()
+	for _, k := range []int{1, 2, 3, 4, 8} {
+		se := MustNew(Config{Shards: k, Engine: testEngineCfg})
+		se.ProcessAll(updates)
+		got := se.OutputDenseKeys()
+		st := se.Stats()
+		if !slices.Equal(got, want) {
+			t.Errorf("K=%d: tracked set %v != single engine %v", k, got, want)
+		}
+		if int(st.MergedEvents) != refEvents {
+			t.Errorf("K=%d: merged %d events, single engine emitted %d (deduped=%d)",
+				k, st.MergedEvents, refEvents, st.DedupedEvents)
+		}
+		se.Close()
+	}
+}
+
+func TestCloseIdempotentAndFlushEmpty(t *testing.T) {
+	se := MustNew(Config{Shards: 2, Engine: testEngineCfg})
+	se.Flush() // no updates: must not hang
+	if err := se.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := se.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProcessAfterClosePanics(t *testing.T) {
+	se := MustNew(Config{Shards: 2, Engine: testEngineCfg})
+	se.Close()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Process after Close did not panic")
+		}
+	}()
+	se.Process(core.Update{A: 1, B: 2, Delta: 1})
+}
+
+// TestStatsAggregation: every shard sees the full stream, so per-shard update
+// counters equal the stream length and the aggregate is K× it.
+func TestStatsAggregation(t *testing.T) {
+	updates := testStream(4, 10, 250, 0.25)
+	const k = 3
+	se := MustNew(Config{Shards: k, Engine: testEngineCfg})
+	defer se.Close()
+	se.ProcessAll(updates)
+	st := se.Stats()
+	if len(st.PerShard) != k || len(st.Loads) != k {
+		t.Fatalf("per-shard slices sized %d/%d, want %d", len(st.PerShard), len(st.Loads), k)
+	}
+	for i, ps := range st.PerShard {
+		if ps.Updates != uint64(len(updates)) {
+			t.Errorf("shard %d processed %d updates, want %d", i, ps.Updates, len(updates))
+		}
+		if st.Loads[i].Updates != uint64(len(updates)) {
+			t.Errorf("shard %d load reports %d updates, want %d", i, st.Loads[i].Updates, len(updates))
+		}
+	}
+	if st.Aggregate.Updates != uint64(k*len(updates)) {
+		t.Errorf("aggregate updates = %d, want %d", st.Aggregate.Updates, k*len(updates))
+	}
+	if se.Updates() != uint64(len(updates)) {
+		t.Errorf("Updates() = %d, want %d", se.Updates(), len(updates))
+	}
+	var rawTotal uint64
+	for _, l := range st.Loads {
+		rawTotal += l.RawEvents
+	}
+	if rawTotal != st.MergedEvents+st.DedupedEvents {
+		t.Errorf("raw events %d != merged %d + deduped %d", rawTotal, st.MergedEvents, st.DedupedEvents)
+	}
+}
+
+// TestConcurrentObservers exercises Flush/Stats/queries from other goroutines
+// while the producer feeds updates; run under -race this validates the
+// engine's internal synchronisation.
+func TestConcurrentObservers(t *testing.T) {
+	updates := testStream(5, 10, 400, 0.3)
+	se := MustNew(Config{Shards: 4, Engine: testEngineCfg, BatchSize: 16})
+	defer se.Close()
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				_ = se.Stats()
+				_ = se.OutputDenseKeys()
+				se.Flush()
+			}
+		}()
+	}
+	se.ProcessAll(updates)
+	close(stop)
+	wg.Wait()
+	se.Flush()
+	if got := se.Updates(); got != uint64(len(updates)) {
+		t.Fatalf("Updates() = %d, want %d", got, len(updates))
+	}
+}

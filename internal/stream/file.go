@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"strconv"
 	"strings"
@@ -70,25 +71,42 @@ func (s *FileSource) Close() error {
 	return s.closer.Close()
 }
 
-// ParseUpdate parses one `a b delta` line.
+// ParseUpdate parses one `a b delta` line. Vertices must be in [0, MaxInt32)
+// — the upper bound is exclusive because MaxInt32 is the index's reserved '*'
+// sentinel (index.Star) — and the delta must be a finite float: a NaN or ±Inf
+// weight would silently poison every score it touches downstream.
 func ParseUpdate(text string) (Update, error) {
 	fields := strings.Fields(text)
 	if len(fields) != 3 {
 		return Update{}, fmt.Errorf("stream: want 3 fields `a b delta`, got %d in %q", len(fields), text)
 	}
-	a, err := strconv.ParseInt(fields[0], 10, 32)
+	a, err := parseVertex(fields[0])
 	if err != nil {
-		return Update{}, fmt.Errorf("stream: bad vertex %q: %w", fields[0], err)
+		return Update{}, err
 	}
-	b, err := strconv.ParseInt(fields[1], 10, 32)
+	b, err := parseVertex(fields[1])
 	if err != nil {
-		return Update{}, fmt.Errorf("stream: bad vertex %q: %w", fields[1], err)
+		return Update{}, err
 	}
 	delta, err := strconv.ParseFloat(fields[2], 64)
 	if err != nil {
 		return Update{}, fmt.Errorf("stream: bad delta %q: %w", fields[2], err)
 	}
-	return Update{A: graph.Vertex(a), B: graph.Vertex(b), Delta: delta}, nil
+	if math.IsNaN(delta) || math.IsInf(delta, 0) {
+		return Update{}, fmt.Errorf("stream: non-finite delta %q", fields[2])
+	}
+	return Update{A: a, B: b, Delta: delta}, nil
+}
+
+func parseVertex(field string) (graph.Vertex, error) {
+	v, err := strconv.ParseInt(field, 10, 32)
+	if err != nil {
+		return 0, fmt.Errorf("stream: bad vertex %q: %w", field, err)
+	}
+	if v < 0 || v >= math.MaxInt32 {
+		return 0, fmt.Errorf("stream: vertex %q outside [0, %d)", field, math.MaxInt32)
+	}
+	return graph.Vertex(v), nil
 }
 
 // WriteUpdates writes updates to w in the edge-list format FileSource reads,

@@ -1,0 +1,126 @@
+package stream
+
+import (
+	"errors"
+	"io"
+	"math"
+	"strings"
+	"testing"
+)
+
+// FuzzFileSource feeds arbitrary bytes through the edge-list parser and
+// checks its safety contract: no panics, every accepted update is
+// well-formed (finite delta, vertices inside the index's valid range), and
+// accepted updates survive a write→parse round trip unchanged. The seeds
+// cover the interesting classes: valid lines, comments, malformed fields,
+// NaN/Inf and out-of-range values, duplicate edges, and pathological
+// whitespace.
+func FuzzFileSource(f *testing.F) {
+	seeds := []string{
+		"1 2 0.5\n2 3 -1.25\n",
+		"# comment\n\n10 11 3\n",
+		"1 2\n",
+		"1 2 3 4\n",
+		"a b c\n",
+		"1 2 NaN\n",
+		"1 2 Inf\n3 4 -Inf\n",
+		"1 2 1e309\n",
+		"-1 2 0.5\n",
+		"2147483647 2 0.5\n",
+		"99999999999 2 0.5\n",
+		"1 2 0x1p-3\n",
+		"1 2 0.5\r\n1 2 0.5\n1 2 -0.5\n",
+		"\t 1 \t 2 \t 0.5 \t\n",
+		"1 1 0.5\n",
+		"0 0 0\n",
+		strings.Repeat("7 8 1.5\n", 50),
+		"1_0 2 0.5\n",
+		"+1 +2 +0.5\n",
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		src := NewReaderSource("fuzz", strings.NewReader(string(data)))
+		var accepted []Update
+		for len(accepted) < 10000 {
+			u, err := src.Next()
+			if err != nil {
+				// io.EOF ends the stream; any other error must identify the
+				// source. Either way the source must not panic.
+				if !errors.Is(err, io.EOF) && !strings.Contains(err.Error(), "fuzz") {
+					t.Fatalf("error does not identify the source: %v", err)
+				}
+				break
+			}
+			if math.IsNaN(u.Delta) || math.IsInf(u.Delta, 0) {
+				t.Fatalf("parser accepted non-finite delta: %+v", u)
+			}
+			if u.A < 0 || u.B < 0 || u.A == math.MaxInt32 || u.B == math.MaxInt32 {
+				t.Fatalf("parser accepted vertex outside [0, MaxInt32): %+v", u)
+			}
+			accepted = append(accepted, u)
+		}
+		if len(accepted) == 0 {
+			return
+		}
+		// Round trip: writing the accepted updates and re-reading them must
+		// reproduce them exactly (WriteUpdates uses %g, which emits the
+		// shortest uniquely-parsing representation).
+		var b strings.Builder
+		if n, err := WriteUpdates(&b, accepted); err != nil || n != len(accepted) {
+			t.Fatalf("WriteUpdates = %d, %v", n, err)
+		}
+		again, err := Drain(NewReaderSource("roundtrip", strings.NewReader(b.String())))
+		if err != nil {
+			t.Fatalf("re-parse of written updates failed: %v", err)
+		}
+		if len(again) != len(accepted) {
+			t.Fatalf("round trip lost updates: %d -> %d", len(accepted), len(again))
+		}
+		for i := range accepted {
+			if again[i] != accepted[i] {
+				t.Fatalf("round trip changed update %d: %+v -> %+v", i, accepted[i], again[i])
+			}
+		}
+	})
+}
+
+// TestParseUpdateRejects pins the parser's rejection classes (the cases the
+// fuzz corpus seeds), so a regression fails fast without the fuzzer.
+func TestParseUpdateRejects(t *testing.T) {
+	bad := []string{
+		"1 2",             // missing field
+		"1 2 3 4",         // extra field
+		"x 2 1",           // non-integer vertex
+		"1 2 z",           // non-float delta
+		"1 2 NaN",         // NaN poisons scores
+		"1 2 Inf",         // +Inf
+		"1 2 -Inf",        // -Inf
+		"1 2 1e309",       // overflows to +Inf
+		"-1 2 1",          // negative vertex
+		"2147483647 2 1",  // the index's '*' sentinel
+		"99999999999 2 1", // overflows int32
+	}
+	for _, line := range bad {
+		if _, err := ParseUpdate(line); err == nil {
+			t.Errorf("ParseUpdate(%q) accepted, want error", line)
+		}
+	}
+	good := map[string]Update{
+		"1 2 0.5":            {A: 1, B: 2, Delta: 0.5},
+		"+1 +2 +0.5":         {A: 1, B: 2, Delta: 0.5},
+		"1 2 0x1p-3":         {A: 1, B: 2, Delta: 0.125},
+		"2147483646 0 -1e-9": {A: 2147483646, B: 0, Delta: -1e-9},
+	}
+	for line, want := range good {
+		got, err := ParseUpdate(line)
+		if err != nil {
+			t.Errorf("ParseUpdate(%q) = %v, want %+v", line, err, want)
+			continue
+		}
+		if got != want {
+			t.Errorf("ParseUpdate(%q) = %+v, want %+v", line, got, want)
+		}
+	}
+}
