@@ -1,20 +1,176 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"os"
+	"runtime"
+	"time"
 
 	"dyndens/internal/core"
 	"dyndens/internal/shard"
 	"dyndens/internal/stream"
 )
 
+// benchResult is the machine-readable record one `dyndens bench -json` run
+// emits. It is the unit of the repo's performance trajectory: committed
+// snapshots (BENCH_PR3.json, ...) and CI jobs compare these fields across
+// revisions, so additions are fine but renames are breaking.
+type benchResult struct {
+	Timestamp string `json:"timestamp"`
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+
+	Workload struct {
+		Vertices         int     `json:"vertices"`
+		Updates          int     `json:"updates"`
+		Seed             int64   `json:"seed"`
+		Skew             float64 `json:"skew"`
+		NegativeFraction float64 `json:"negative_fraction"`
+		MeanDelta        float64 `json:"mean_delta"`
+	} `json:"workload"`
+
+	Config struct {
+		Measure          string  `json:"measure"`
+		T                float64 `json:"t"`
+		Nmax             int     `json:"nmax"`
+		DeltaIt          float64 `json:"delta_it"`
+		MaxExplore       bool    `json:"max_explore"`
+		DegreePrioritize bool    `json:"degree_prioritize"`
+	} `json:"config"`
+
+	Shards int `json:"shards"`
+	Batch  int `json:"batch"`
+
+	// Throughput of the engine processing itself (source I/O excluded for the
+	// single-threaded path; wall-clock including merge for the sharded path).
+	UpdatesPerSecond float64 `json:"updates_per_second"`
+	NsPerUpdate      float64 `json:"ns_per_update"`
+	ElapsedNs        int64   `json:"elapsed_ns"`
+
+	// Whole-process allocation accounting over the replay (runtime.MemStats
+	// deltas divided by the update count). For shards > 0 this includes the
+	// batching/merge machinery, not just the engines.
+	AllocsPerUpdate float64 `json:"allocs_per_update"`
+	BytesPerUpdate  float64 `json:"bytes_per_update"`
+
+	Events struct {
+		Became         uint64 `json:"became"`
+		Ceased         uint64 `json:"ceased"`
+		NetOutputDense int    `json:"net_output_dense"`
+		Deduped        uint64 `json:"deduped,omitempty"`
+	} `json:"events"`
+
+	Engine struct {
+		Updates       uint64 `json:"updates"`
+		Explorations  uint64 `json:"explorations"`
+		CheapExplores uint64 `json:"cheap_explores"`
+		Insertions    uint64 `json:"insertions"`
+		Evictions     uint64 `json:"evictions"`
+		IndexedDense  int    `json:"indexed_dense"`
+		IndexedStars  int    `json:"indexed_stars"`
+		IndexNodes    int    `json:"index_nodes"`
+		MaxIndexNodes int    `json:"max_index_nodes"`
+	} `json:"engine"`
+
+	// PerShardBusyNs is the per-worker busy time for sharded runs (empty for
+	// the single-threaded path).
+	PerShardBusyNs []int64 `json:"per_shard_busy_ns,omitempty"`
+}
+
+func (r *benchResult) fillCommon(synthCfg stream.SynthConfig, engCfg core.Config, shards, batch int) {
+	r.Timestamp = time.Now().UTC().Format(time.RFC3339)
+	r.GoVersion = runtime.Version()
+	r.GOOS = runtime.GOOS
+	r.GOARCH = runtime.GOARCH
+	r.Workload.Vertices = synthCfg.Vertices
+	r.Workload.Updates = synthCfg.Updates
+	r.Workload.Seed = synthCfg.Seed
+	r.Workload.Skew = synthCfg.Skew
+	r.Workload.NegativeFraction = synthCfg.NegativeFraction
+	r.Workload.MeanDelta = synthCfg.MeanDelta
+	r.Config.Measure = engCfg.Measure.Name()
+	r.Config.T = engCfg.T
+	r.Config.Nmax = engCfg.Nmax
+	r.Config.DeltaIt = engCfg.DeltaIt
+	r.Config.MaxExplore = engCfg.EnableMaxExplore
+	r.Config.DegreePrioritize = engCfg.EnableDegreePrioritize
+	r.Shards = shards
+	r.Batch = batch
+}
+
+// fillThroughput derives the rate fields from an (updates, elapsed) pair —
+// engine time for the single-threaded path, wall clock for the sharded one.
+func (r *benchResult) fillThroughput(updates int, elapsed time.Duration) {
+	r.ElapsedNs = elapsed.Nanoseconds()
+	if updates > 0 && elapsed > 0 {
+		r.UpdatesPerSecond = float64(updates) / elapsed.Seconds()
+		r.NsPerUpdate = float64(elapsed.Nanoseconds()) / float64(updates)
+	}
+}
+
+func (r *benchResult) fillEngineStats(s core.Stats) {
+	r.Engine.Updates = s.Updates
+	r.Engine.Explorations = s.Explorations
+	r.Engine.CheapExplores = s.CheapExplores
+	r.Engine.Insertions = s.Insertions
+	r.Engine.Evictions = s.Evictions
+	r.Engine.IndexedDense = s.IndexedDense
+	r.Engine.IndexedStars = s.IndexedStars
+	r.Engine.IndexNodes = s.IndexNodes
+	r.Engine.MaxIndexNodes = s.MaxIndexNodes
+}
+
+// writeJSON writes the result to path ("-" for stdout).
+func (r *benchResult) writeJSON(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if path == "-" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// memSnapshot captures the allocation counters relevant to per-update
+// accounting. GC is forced first so the deltas measure the replay, not
+// leftover garbage churn.
+type memSnapshot struct {
+	mallocs    uint64
+	totalAlloc uint64
+}
+
+func takeMemSnapshot() memSnapshot {
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return memSnapshot{mallocs: ms.Mallocs, totalAlloc: ms.TotalAlloc}
+}
+
+func (m memSnapshot) perUpdate(updates int) (allocs, bytes float64) {
+	if updates <= 0 {
+		return 0, 0
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return float64(ms.Mallocs-m.mallocs) / float64(updates),
+		float64(ms.TotalAlloc-m.totalAlloc) / float64(updates)
+}
+
 // cmdBench replays a seeded synthetic stream end-to-end (generator → replay →
 // engine → counting sink) and prints the throughput/latency summary that
 // serves as the repo's performance baseline. With -shards K the stream is
 // driven through the sharded engine instead, reporting aggregate wall-clock
 // throughput plus per-shard busy time, so the single-threaded (K=0) and
-// sharded paths can be benchmarked side by side.
+// sharded paths can be benchmarked side by side. With -json path the run
+// additionally emits a machine-readable benchResult (path "-" for stdout),
+// the format the repo's committed perf trajectory (BENCH_PR3.json, ...) and
+// CI regression tooling consume.
 //
 // Note the threshold/workload interplay: weights accumulate for the whole
 // run, so a threshold far below the weight of the hottest edges (high -skew
@@ -26,6 +182,7 @@ func cmdBench(args []string) error {
 	newSynth := synthFlags(fs)
 	batch := fs.Int("batch", 256, "micro-batch size for the replay driver")
 	shards := fs.Int("shards", 0, "partition the engine across K workers (0 = single-threaded)")
+	jsonOut := fs.String("json", "", "also write a machine-readable result to this `path` (- for stdout)")
 	newEngineCfg := engineFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -54,22 +211,40 @@ func cmdBench(args []string) error {
 			cfg.Measure.Name(), cfg.T, cfg.Nmax, cfg.DeltaIt, *batch, extra)
 	}
 
+	var result benchResult
+
 	if *shards > 0 {
 		se, err := shard.New(shard.Config{Shards: *shards, Engine: engCfg})
 		if err != nil {
 			return err
 		}
 		defer se.Close()
+		mem := takeMemSnapshot()
 		st, err := stream.NewShardReplay(src, se, sink).Run(*batch)
 		if err != nil {
 			return err
 		}
 		stats := se.Stats()
+		allocs, bytes := mem.perUpdate(st.Updates)
 		header(se.Config().Engine.WithDefaults(), fmt.Sprintf(" shards=%d", *shards))
 		fmt.Println(st)
 		fmt.Printf("sink:   became=%d ceased=%d (net output-dense=%d, deduped=%d)\n",
 			sink.Became, sink.Ceased, se.OutputDenseCount(), stats.DedupedEvents)
 		fmt.Println(shardedSummary(stats))
+		if *jsonOut != "" {
+			result.fillCommon(synthCfg, se.Config().Engine.WithDefaults(), *shards, *batch)
+			result.fillThroughput(st.Updates, st.Wall)
+			result.fillEngineStats(stats.Aggregate)
+			result.AllocsPerUpdate, result.BytesPerUpdate = allocs, bytes
+			result.Events.Became = sink.Became
+			result.Events.Ceased = sink.Ceased
+			result.Events.NetOutputDense = se.OutputDenseCount()
+			result.Events.Deduped = stats.DedupedEvents
+			for _, load := range stats.Loads {
+				result.PerShardBusyNs = append(result.PerShardBusyNs, load.Busy.Nanoseconds())
+			}
+			return result.writeJSON(*jsonOut)
+		}
 		return nil
 	}
 
@@ -77,14 +252,26 @@ func cmdBench(args []string) error {
 	if err != nil {
 		return err
 	}
+	mem := takeMemSnapshot()
 	st, err := stream.NewReplay(src, eng, sink).Run(*batch)
 	if err != nil {
 		return err
 	}
+	allocs, bytes := mem.perUpdate(st.Updates)
 	header(eng.Config(), "")
 	fmt.Println(st)
 	fmt.Printf("sink:   became=%d ceased=%d (net output-dense=%d)\n",
 		sink.Became, sink.Ceased, eng.OutputDenseCount())
 	fmt.Println(engineSummary(eng))
+	if *jsonOut != "" {
+		result.fillCommon(synthCfg, eng.Config(), 0, *batch)
+		result.fillThroughput(st.Updates, st.Elapsed)
+		result.fillEngineStats(eng.Stats())
+		result.AllocsPerUpdate, result.BytesPerUpdate = allocs, bytes
+		result.Events.Became = sink.Became
+		result.Events.Ceased = sink.Ceased
+		result.Events.NetOutputDense = eng.OutputDenseCount()
+		return result.writeJSON(*jsonOut)
+	}
 	return nil
 }

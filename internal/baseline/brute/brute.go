@@ -98,8 +98,13 @@ func EnumerateConnected(g *graph.Graph, p Params) []Result {
 		if c.Len() == p.Nmax {
 			return
 		}
-		for y, add := range g.NeighborhoodScores(c) {
-			grow(c.Add(y), score+add)
+		// Offline enumeration recurses while iterating the merge result, so
+		// each frame needs its own buffer (the engine solves this with a free
+		// list; here a per-frame allocation is fine).
+		var buf graph.NeighborhoodBuf
+		ys, adds := g.NeighborhoodScores(c, &buf)
+		for i, y := range ys {
+			grow(c.Add(y), score+adds[i])
 		}
 	}
 	g.Edges(func(u, v graph.Vertex, w float64) {

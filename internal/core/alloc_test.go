@@ -1,0 +1,189 @@
+// Allocation-discipline tests for the Process hot path. The sorted-vector
+// graph, the engine scratch free lists, and the sink clone-elision contract
+// together promise that a steady-state update — one that changes weights but
+// does not admit, evict, or report any subgraph — performs ZERO allocations:
+// no neighbourhood maps, no candidate-set copies, no snapshot slices, no
+// event clones. These tests pin that promise with testing.AllocsPerRun.
+//
+// Workload construction: the engine is warmed exactly like the benchmarks
+// (skewed stream, T=100, Nmax=5), then updates of magnitude ±1e-9 are applied
+// to edges internal to currently indexed dense subgraphs. The tiny magnitude
+// keeps every score far from any threshold, so the full exploration machinery
+// runs (snapshots, stable-dense bumps, neighbourhood merges, cheap-explores)
+// while the index and the output-dense set stay fixed — the regime a
+// long-running deployment spends almost all of its time in.
+package core_test
+
+import (
+	"testing"
+
+	"dyndens/internal/core"
+	"dyndens/internal/stream"
+)
+
+// steadyStateEngine returns a warm engine with a non-retaining sink and a set
+// of edges that lie inside indexed dense subgraphs (so updates to them walk
+// the full positive/negative paths).
+func steadyStateEngine(t *testing.T) (*core.Engine, []core.Update) {
+	t.Helper()
+	warm, err := stream.Drain(stream.MustSynthetic(stream.SynthConfig{
+		Vertices: benchVertices, Seed: 1, Skew: benchSkew, Updates: benchWarm,
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := core.MustNew(benchConfig())
+	eng.SetSink(&core.CountingSink{})
+	eng.ProcessAll(warm)
+
+	dense := eng.Dense()
+	if len(dense) == 0 {
+		t.Fatal("warm engine has no dense subgraphs; workload is mis-tuned")
+	}
+	var edges []core.Update
+	seen := map[[2]core.Vertex]bool{}
+	for _, sg := range dense {
+		c := sg.Set
+		for i := 0; i < c.Len(); i++ {
+			for j := i + 1; j < c.Len(); j++ {
+				a, b := c[i], c[j]
+				if eng.Graph().Weight(a, b) == 0 || seen[[2]core.Vertex{a, b}] {
+					continue
+				}
+				seen[[2]core.Vertex{a, b}] = true
+				edges = append(edges, core.Update{A: a, B: b})
+				if len(edges) == 32 {
+					return eng, edges
+				}
+			}
+		}
+	}
+	if len(edges) == 0 {
+		t.Fatal("no internal edges found in dense subgraphs")
+	}
+	return eng, edges
+}
+
+func assertZeroAllocs(t *testing.T, name string, f func()) {
+	t.Helper()
+	if allocs := testing.AllocsPerRun(50, f); allocs != 0 {
+		t.Errorf("%s: steady-state Process performed %v allocs/run, want 0", name, allocs)
+	}
+}
+
+func TestProcessSteadyStateZeroAllocPositive(t *testing.T) {
+	eng, edges := steadyStateEngine(t)
+	const delta = 1e-9
+	// Pre-run once so any first-touch buffer growth happens before measuring.
+	for _, u := range edges {
+		u.Delta = delta
+		eng.Process(u)
+	}
+	assertZeroAllocs(t, "positive", func() {
+		for _, u := range edges {
+			u.Delta = delta
+			eng.Process(u)
+		}
+	})
+}
+
+func TestProcessSteadyStateZeroAllocNegative(t *testing.T) {
+	eng, edges := steadyStateEngine(t)
+	const delta = 1e-9
+	for _, u := range edges {
+		u.Delta = -delta
+		eng.Process(u)
+	}
+	assertZeroAllocs(t, "negative", func() {
+		for _, u := range edges {
+			u.Delta = -delta
+			eng.Process(u)
+		}
+	})
+}
+
+func TestProcessSteadyStateZeroAllocMixed(t *testing.T) {
+	eng, edges := steadyStateEngine(t)
+	const delta = 1e-9
+	cycle := func() {
+		for i, u := range edges {
+			if i%2 == 0 {
+				u.Delta = delta
+			} else {
+				u.Delta = -delta
+			}
+			eng.Process(u)
+		}
+		// Reverse signs so every edge's weight returns to baseline each cycle
+		// and repeated runs cannot drift across a threshold.
+		for i, u := range edges {
+			if i%2 == 0 {
+				u.Delta = -delta
+			} else {
+				u.Delta = delta
+			}
+			eng.Process(u)
+		}
+	}
+	cycle()
+	assertZeroAllocs(t, "mixed", cycle)
+}
+
+// TestEmitCloneElision pins the sink capability contract: a retaining sink
+// (CollectorSink) must receive private set copies, while a non-retaining
+// chain (FilterSink → CountingSink) must not force clones — and the filter
+// must still see valid sets during Emit.
+func TestEmitCloneElision(t *testing.T) {
+	mk := func() *core.Engine {
+		eng := core.MustNew(core.Config{T: 1, Nmax: 4})
+		return eng
+	}
+
+	// Retaining path: collected events must survive further processing.
+	eng := mk()
+	var collected core.CollectorSink
+	eng.SetSink(&collected)
+	eng.Process(core.Update{A: 1, B: 2, Delta: 5})
+	eng.Process(core.Update{A: 2, B: 3, Delta: 5})
+	eng.Process(core.Update{A: 1, B: 3, Delta: 5})
+	evs := collected.Events()
+	if len(evs) == 0 {
+		t.Fatal("no events collected")
+	}
+	snapshot := make([]string, len(evs))
+	for i, ev := range evs {
+		snapshot[i] = ev.Set.Key()
+	}
+	// Drive more updates; retained sets must not be overwritten by scratch reuse.
+	for i := 0; i < 50; i++ {
+		eng.Process(core.Update{A: core.Vertex(10 + i), B: core.Vertex(11 + i), Delta: 2})
+	}
+	for i, ev := range evs {
+		if ev.Set.Key() != snapshot[i] {
+			t.Fatalf("retained event %d mutated: %q != %q", i, ev.Set.Key(), snapshot[i])
+		}
+	}
+
+	// Non-retaining path: the filter observes correct sets at Emit time.
+	eng = mk()
+	counter := &core.CountingSink{}
+	filter := &core.FilterSink{Next: counter, MinCardinality: 3}
+	if core.SinkRetainsSets(filter) {
+		t.Fatal("FilterSink→CountingSink chain should not retain sets")
+	}
+	eng.SetSink(filter)
+	eng.Process(core.Update{A: 1, B: 2, Delta: 5})
+	eng.Process(core.Update{A: 2, B: 3, Delta: 5})
+	eng.Process(core.Update{A: 1, B: 3, Delta: 5})
+	if counter.Total() == 0 || filter.Passed == 0 {
+		t.Fatalf("filtered events did not flow: passed=%d total=%d", filter.Passed, counter.Total())
+	}
+
+	// MultiSink: retains iff any member retains.
+	if !core.SinkRetainsSets(core.MultiSink{counter, &core.CollectorSink{}}) {
+		t.Fatal("MultiSink with a collector member must retain")
+	}
+	if core.SinkRetainsSets(core.MultiSink{counter, &core.FilterSink{}}) {
+		t.Fatal("MultiSink of non-retaining members must not retain")
+	}
+}

@@ -171,6 +171,9 @@ type Engine struct {
 	// cur is the destination for the in-flight Process/SetThreshold call:
 	// sink if one is installed, otherwise &collector.
 	cur EventSink
+	// cloneSets records whether cur retains Event.Set beyond Emit (see
+	// SetRetainer); only then does emit clone the set out of engine scratch.
+	cloneSets bool
 
 	// Per-update scratch state (valid during Process only).
 	a, b        Vertex
@@ -180,7 +183,50 @@ type Engine struct {
 	maxExplore  int // MaxExplore heuristic cap (Nmax+1 = unlimited)
 	maxExploreA int
 	maxExploreB int
+
+	// Reusable buffers. Steady-state Process performs no graph/neighbourhood
+	// allocations: index snapshots land in affectedBuf/starBuf, subgraph sets
+	// are reconstructed and extended in buffers drawn from the setFree list,
+	// and neighbourhood merges run in NeighborhoodBufs from nbufFree. The
+	// free lists (rather than single buffers) exist because exploration is
+	// recursive: each explore frame pops its own buffers and pushes them back
+	// when done, so a parent's merge results and candidate set survive the
+	// admissions it recurses into. Depth is bounded by Nmax, so each list
+	// settles at a handful of entries.
+	affectedBuf []*index.Node
+	starBuf     []*index.Node
+	setFree     [][]Vertex
+	nbufFree    []*graph.NeighborhoodBuf
+	weightsBuf  []float64 // computeMaxExplore's neighbour-weight scratch
+	pairBuf     [2]Vertex // seed-pair scratch
 }
+
+// getSetBuf pops a vertex-set scratch buffer off the free list.
+func (e *Engine) getSetBuf() []Vertex {
+	if n := len(e.setFree); n > 0 {
+		b := e.setFree[n-1]
+		e.setFree = e.setFree[:n-1]
+		return b
+	}
+	return make([]Vertex, 0, 8)
+}
+
+// putSetBuf returns a scratch buffer (possibly regrown by its user) to the
+// free list.
+func (e *Engine) putSetBuf(b []Vertex) { e.setFree = append(e.setFree, b[:0]) }
+
+// getNbuf pops a neighbourhood-merge scratch buffer off the free list.
+func (e *Engine) getNbuf() *graph.NeighborhoodBuf {
+	if n := len(e.nbufFree); n > 0 {
+		b := e.nbufFree[n-1]
+		e.nbufFree = e.nbufFree[:n-1]
+		return b
+	}
+	return &graph.NeighborhoodBuf{}
+}
+
+// putNbuf returns a neighbourhood buffer to the free list.
+func (e *Engine) putNbuf(b *graph.NeighborhoodBuf) { e.nbufFree = append(e.nbufFree, b) }
 
 // New creates a DynDens engine. It validates the configuration (threshold
 // schedule, δ_it range, measure monotonicity).
@@ -241,10 +287,11 @@ func (e *Engine) Sink() EventSink { return e.sink }
 func (e *Engine) beginEmit() {
 	if e.sink != nil {
 		e.cur = e.sink
-		return
+	} else {
+		e.collector.Reset()
+		e.cur = &e.collector
 	}
-	e.collector.Reset()
-	e.cur = &e.collector
+	e.cloneSets = SinkRetainsSets(e.cur)
 }
 
 // finishEmit ends the call, returning the collected events in slice mode and
@@ -311,15 +358,34 @@ func (e *Engine) ProcessAll(updates []Update) int {
 	return int(e.stats.Events - before)
 }
 
-// emit pushes an output event to the current destination.
+// emit pushes an output event to the current destination. The subgraph set
+// usually lives in engine scratch, so it is cloned only when the installed
+// sink declares it retains sets (SetRetainer); counting/filter-style sinks
+// observe the scratch directly, which is what keeps the steady-state hot path
+// allocation-free.
 func (e *Engine) emit(kind EventKind, c vset.Set, score float64) {
 	e.stats.Events++
+	set := c
+	if e.cloneSets {
+		set = c.Clone()
+	}
 	e.cur.Emit(Event{
 		Kind:    kind,
-		Set:     c.Clone(),
+		Set:     set,
 		Score:   score,
 		Density: e.th.Density(score, c.Len()),
 	})
+}
+
+// minEdgeFloor clamps the minimum outside-edge weight a star-family edge scan
+// requires to the representable range: a non-positive bound means any
+// positive-weight edge qualifies. Shared by starEdgeScan and
+// exploreStarMembers so the two scans cannot drift apart.
+func minEdgeFloor(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	return x
 }
 
 // bumpScore adjusts the stored score of a dense node (and its star family, if
@@ -338,11 +404,14 @@ func (e *Engine) bumpScore(n *index.Node, delta float64) float64 {
 // dense are evicted from the index.
 func (e *Engine) processNegative() {
 	a, b := e.a, e.b
-	for _, node := range e.ix.DenseContaining(a) {
+	e.affectedBuf = e.ix.AppendDenseContaining(e.affectedBuf[:0], a)
+	setBuf := e.getSetBuf()
+	for _, node := range e.affectedBuf {
 		if !node.Dense() {
 			continue // already evicted via pruning cascade
 		}
-		c := node.Set()
+		c := node.SetInto(setBuf)
+		setBuf = c
 		if !c.Contains(b) {
 			continue
 		}
@@ -360,6 +429,7 @@ func (e *Engine) processNegative() {
 			e.stats.Evictions++
 		}
 	}
+	e.putSetBuf(setBuf)
 }
 
 // processPositive handles δ > 0 (Algorithm 1, lines 4–11).
@@ -369,15 +439,20 @@ func (e *Engine) processPositive() {
 	e.computeMaxExplore()
 
 	// Snapshot the dense subgraphs containing a or b before any insertions so
-	// that each pre-existing dense subgraph is examined exactly once.
-	affected := e.ix.DenseContainingEither(a, b)
-	stars := e.ix.StarNodes()
+	// that each pre-existing dense subgraph is examined exactly once. The
+	// snapshot slices are engine-owned and reused across updates.
+	e.affectedBuf = e.ix.AppendDenseContainingEither(e.affectedBuf[:0], a, b)
+	e.starBuf = e.ix.AppendStarNodes(e.starBuf[:0])
 
 	// Base case: the edge {a, b} itself may have become dense. In a routed
 	// deployment only the designated seeder runs this step, so each pair —
 	// and every discovery chain rooted at it — has exactly one owner.
 	if e.seedPairs {
-		pair := vset.New(a, b)
+		e.pairBuf[0], e.pairBuf[1] = a, b
+		if a > b {
+			e.pairBuf[0], e.pairBuf[1] = b, a
+		}
+		pair := vset.Set(e.pairBuf[:])
 		if e.ix.LookupDense(pair) == nil {
 			if w := e.g.Weight(a, b); e.th.IsDense(w, 2) {
 				e.admit(pair, w, 1)
@@ -385,11 +460,13 @@ func (e *Engine) processPositive() {
 		}
 	}
 
-	for _, node := range affected {
+	setBuf := e.getSetBuf()
+	for _, node := range e.affectedBuf {
 		if !node.Dense() {
 			continue
 		}
-		c := node.Set()
+		c := node.SetInto(setBuf)
+		setBuf = c
 		hasA, hasB := c.Contains(a), c.Contains(b)
 		if hasA && hasB {
 			// Stable-dense: its score grows by δ (Algorithm 1, line 10–11).
@@ -408,10 +485,11 @@ func (e *Engine) processPositive() {
 			e.cheapExplore(c, node.Score(), hasA)
 		}
 	}
+	e.putSetBuf(setBuf)
 
 	// ImplicitTooDense families (Section 3.2.3): the inverted list of '*' is
 	// examined as part of every positive update.
-	for _, star := range stars {
+	for _, star := range e.starBuf {
 		e.processStar(star)
 	}
 }
@@ -429,8 +507,9 @@ func (e *Engine) cheapExplore(c vset.Set, score float64, hasA bool) {
 	if !e.shouldCheapExplore(c, present) {
 		return
 	}
-	union := c.Add(missing)
-	if union.Len() > e.th.Nmax {
+	// c contains exactly one endpoint, so missing ∉ c and |C ∪ {missing}| is
+	// |C|+1; the cardinality gate needs no materialised union.
+	if c.Len()+1 > e.th.Nmax {
 		return
 	}
 	e.stats.CheapExplores++
@@ -442,13 +521,15 @@ func (e *Engine) cheapExplore(c vset.Set, score float64, hasA bool) {
 			return
 		}
 	}
-	if e.ix.HasDense(union) {
-		return
+	buf := e.getSetBuf()
+	union := vset.AddInto(buf, c, missing)
+	if !e.ix.HasDense(union) {
+		uScore := score + e.g.ScoreWith(c, missing)
+		if e.th.IsDense(uScore, union.Len()) {
+			e.admit(union, uScore, 2)
+		}
 	}
-	uScore := score + e.g.ScoreWith(c, missing)
-	if e.th.IsDense(uScore, union.Len()) {
-		e.admit(union, uScore, 2)
-	}
+	e.putSetBuf(union)
 }
 
 // shouldCheapExplore implements the cheap-exploration pruning rules: the
@@ -514,15 +595,14 @@ func (e *Engine) starEdgeScan(base vset.Set, score float64, admit func(c vset.Se
 	if n+2 > e.th.Nmax {
 		return
 	}
-	minEdge := e.th.MinDenseScore(n+2) - score
-	if minEdge < 0 {
-		minEdge = 0
-	}
+	minEdge := minEdgeFloor(e.th.MinDenseScore(n+2) - score)
+	buf := e.getSetBuf()
 	e.g.EdgesNotIncident(base, func(u, v Vertex, w float64) {
 		if w < minEdge {
 			return
 		}
-		cand := base.Add(u).Add(v)
+		cand := vset.Add2Into(buf, base, u, v)
+		buf = cand
 		if cand.Len() != n+2 || e.ix.HasDense(cand) {
 			return
 		}
@@ -531,6 +611,7 @@ func (e *Engine) starEdgeScan(base vset.Set, score float64, admit func(c vset.Se
 			admit(cand, s)
 		}
 	})
+	e.putSetBuf(buf)
 }
 
 // admit inserts a subgraph discovered to be dense during the current update,
@@ -564,7 +645,9 @@ func (e *Engine) admit(c vset.Set, score float64, iter int) {
 //     is an implicitly represented dense subgraph containing exactly one
 //     endpoint; cheap-exploring it yields C∪{a,b}.
 func (e *Engine) processStar(star *index.Node) {
-	base := star.Set()
+	baseBuf := e.getSetBuf()
+	base := star.SetInto(baseBuf)
+	defer e.putSetBuf(base)
 	nBase := base.Len()
 	a, b := e.a, e.b
 	hasA, hasB := base.Contains(a), base.Contains(b)
@@ -582,15 +665,16 @@ func (e *Engine) processStar(star *index.Node) {
 		if !aDisc && !bDisc {
 			return
 		}
-		union := base.Add(a).Add(b)
-		if e.ix.HasDense(union) {
-			return
+		unionBuf := e.getSetBuf()
+		union := vset.Add2Into(unionBuf, base, a, b)
+		if !e.ix.HasDense(union) {
+			e.stats.CheapExplores++
+			score := e.g.Score(union)
+			if e.th.IsDense(score, union.Len()) {
+				e.admit(union, score, 2)
+			}
 		}
-		e.stats.CheapExplores++
-		score := e.g.Score(union)
-		if e.th.IsDense(score, union.Len()) {
-			e.admit(union, score, 2)
-		}
+		e.putSetBuf(union)
 	}
 }
 
@@ -610,16 +694,14 @@ func (e *Engine) exploreStarMembers(star *index.Node, base vset.Set, nBase int) 
 	if e.th.IsTooDense(scoreBefore, nBase+1) {
 		return
 	}
-	need := e.th.MinDenseScore(nBase + 2)
-	minEdge := need - scoreAfter
-	if minEdge <= 0 {
-		minEdge = 0
-	}
+	minEdge := minEdgeFloor(e.th.MinDenseScore(nBase+2) - scoreAfter)
+	buf := e.getSetBuf()
 	e.g.EdgesNotIncident(base, func(u, v Vertex, w float64) {
 		if w < minEdge {
 			return
 		}
-		cand := base.Add(u).Add(v)
+		cand := vset.Add2Into(buf, base, u, v)
+		buf = cand
 		if cand.Len() != nBase+2 || e.ix.HasDense(cand) {
 			return
 		}
@@ -628,6 +710,7 @@ func (e *Engine) exploreStarMembers(star *index.Node, base vset.Set, nBase int) 
 			e.admit(cand, score, 2)
 		}
 	})
+	e.putSetBuf(buf)
 }
 
 // explore implements Algorithm 2: try to augment a dense subgraph containing
@@ -673,7 +756,15 @@ func (e *Engine) explore(c vset.Set, score float64, iter int) {
 	if e.cfg.EnableDegreePrioritize && n > 1 {
 		degreeCap = 2.0 / float64(n-1) * score
 	}
-	for y, add := range e.g.NeighborhoodScores(c) {
+	// The neighbourhood merge and the candidate set work in buffers popped
+	// off the engine free lists: admissions recurse back into explore, and
+	// that deeper frame pops its own buffers, so ys/adds and child stay
+	// intact underneath it.
+	nbuf := e.getNbuf()
+	ys, adds := e.g.NeighborhoodScores(c, nbuf)
+	childBuf := e.getSetBuf()
+	for i, y := range ys {
+		add := adds[i]
 		childScore := score + add
 		if !e.th.IsDense(childScore, n+1) {
 			continue
@@ -685,7 +776,8 @@ func (e *Engine) explore(c vset.Set, score float64, iter int) {
 			e.stats.DegreeSkips++
 			continue
 		}
-		child := c.Add(y)
+		child := vset.AddInto(childBuf, c, y)
+		childBuf = child
 		if e.ix.HasDense(child) {
 			// Stable-dense supergraphs are examined through the index snapshot;
 			// subgraphs admitted earlier in this update carry an iteration
@@ -694,4 +786,6 @@ func (e *Engine) explore(c vset.Set, score float64, iter int) {
 		}
 		e.admit(child, childScore, iter+1)
 	}
+	e.putSetBuf(childBuf)
+	e.putNbuf(nbuf)
 }

@@ -1,6 +1,6 @@
 package core
 
-import "sort"
+import "slices"
 
 // computeMaxExplore evaluates the MaxExplore heuristic (Section 7.1) for the
 // current positive update. It derives, from the neighbourhoods of the two
@@ -39,23 +39,28 @@ func (e *Engine) computeMaxExplore() {
 // weight among other's edges excluding the one to x; top(i) = Σ_{j≤i} best(j).
 // maxExplore_x = min{ i ∈ [3, Nmax] : top(i−1) ≤ Z·(i−1) − δ_it ∧ best(i) < Z },
 // or Nmax+1 if no such i exists.
+//
+// The neighbour weights are copied into an engine-owned scratch slice and
+// sorted ascending with slices.Sort (no interface boxing), so the heuristic
+// allocates nothing in steady state.
 func (e *Engine) maxExploreFor(other, x Vertex, wAfter, z float64) int {
 	nmax := e.th.Nmax
-	weights := make([]float64, 0, e.g.Degree(other))
-	e.g.Neighbors(other, func(v Vertex, w float64) {
-		if v == x {
-			return
+	vs, ws := e.g.Neighborhood(other)
+	e.weightsBuf = e.weightsBuf[:0]
+	for i, v := range vs {
+		if v != x {
+			e.weightsBuf = append(e.weightsBuf, ws[i])
 		}
-		weights = append(weights, w)
-	})
-	sort.Sort(sort.Reverse(sort.Float64Slice(weights)))
+	}
+	weights := e.weightsBuf
+	slices.Sort(weights)
 
 	best := func(i int) float64 {
 		if i == 0 {
 			return wAfter
 		}
-		if i-1 < len(weights) {
-			return weights[i-1]
+		if i <= len(weights) {
+			return weights[len(weights)-i] // i-th largest
 		}
 		return 0
 	}

@@ -12,10 +12,38 @@ import "dyndens/internal/vset"
 // call back into the engine — neither mutators (Process, SetThreshold) nor
 // queries (OutputDense etc.), which would observe a half-applied update. An
 // implementation that needs either should hand the event off to its own
-// machinery and act after Process returns (the Event's Set is already a
-// private copy, so it may be retained).
+// machinery and act after Process returns.
+//
+// Set ownership (the clone-elision contract): by default the engine clones
+// Event.Set out of its internal scratch buffers before Emit, so the set may
+// be retained indefinitely. A sink that only inspects the set during Emit can
+// opt out of that clone by also implementing SetRetainer and returning false
+// — the engine then passes its scratch directly, and the set is valid ONLY
+// for the duration of the Emit call. CountingSink and FilterSink (when its
+// Next does not retain) do this, which is what makes the steady-state
+// Process hot path allocation-free.
 type EventSink interface {
 	Emit(ev Event)
+}
+
+// SetRetainer is the optional capability by which a sink declares whether it
+// (or anything it forwards to) keeps a reference to Event.Set after Emit
+// returns. Sinks that do not implement it are assumed to retain, and the
+// engine clones every emitted set for them.
+type SetRetainer interface {
+	// RetainsSets reports whether Event.Set may be referenced after Emit.
+	// Returning false licenses the engine to reuse the set's backing array
+	// for the next event.
+	RetainsSets() bool
+}
+
+// SinkRetainsSets reports whether s must be handed a private copy of
+// Event.Set: true unless s implements SetRetainer and declares otherwise.
+func SinkRetainsSets(s EventSink) bool {
+	if r, ok := s.(SetRetainer); ok {
+		return r.RetainsSets()
+	}
+	return true
 }
 
 // EventSinkFunc adapts a plain function to the EventSink interface.
@@ -33,6 +61,10 @@ type CollectorSink struct {
 
 // Emit implements EventSink.
 func (c *CollectorSink) Emit(ev Event) { c.events = append(c.events, ev) }
+
+// RetainsSets implements SetRetainer: the collector stores events, so it
+// needs private set copies.
+func (c *CollectorSink) RetainsSets() bool { return true }
 
 // Events returns the accumulated events without resetting the sink. The
 // returned slice aliases the sink's buffer; callers that keep it past the next
@@ -71,6 +103,10 @@ func (c *CountingSink) Emit(ev Event) {
 		c.Ceased++
 	}
 }
+
+// RetainsSets implements SetRetainer: the counter never touches Event.Set,
+// so the engine can skip the per-event clone entirely.
+func (c *CountingSink) RetainsSets() bool { return false }
 
 // Total returns the total number of events observed.
 func (c *CountingSink) Total() uint64 { return c.Became + c.Ceased }
@@ -113,6 +149,13 @@ func (f *FilterSink) Emit(ev Event) {
 	}
 }
 
+// RetainsSets implements SetRetainer: the filter itself only reads the set
+// during Emit (the cardinality gate and the watchlist merge-scan), so it
+// retains exactly when its Next does.
+func (f *FilterSink) RetainsSets() bool {
+	return f.Next != nil && SinkRetainsSets(f.Next)
+}
+
 func (f *FilterSink) match(ev Event) bool {
 	if ev.Set.Len() < f.MinCardinality {
 		return false
@@ -144,4 +187,15 @@ func (m MultiSink) Emit(ev Event) {
 	for _, s := range m {
 		s.Emit(ev)
 	}
+}
+
+// RetainsSets implements SetRetainer: the fan-out needs a private copy as
+// soon as any member does.
+func (m MultiSink) RetainsSets() bool {
+	for _, s := range m {
+		if SinkRetainsSets(s) {
+			return true
+		}
+	}
+	return false
 }

@@ -164,15 +164,21 @@ func (e *Engine) updateExplore(c vset.Set, score float64, wasTooDense bool) {
 		return
 	}
 	e.stats.Explorations++
-	for y, add := range e.g.NeighborhoodScores(c) {
-		childScore := score + add
+	nbuf := e.getNbuf()
+	ys, adds := e.g.NeighborhoodScores(c, nbuf)
+	childBuf := e.getSetBuf()
+	for i, y := range ys {
+		childScore := score + adds[i]
 		if !e.th.IsDense(childScore, n+1) {
 			continue
 		}
-		child := c.Add(y)
+		child := vset.AddInto(childBuf, c, y)
+		childBuf = child
 		if e.ix.HasDense(child) {
 			continue
 		}
 		e.thresholdAdmit(child, childScore)
 	}
+	e.putSetBuf(childBuf)
+	e.putNbuf(nbuf)
 }

@@ -4,9 +4,15 @@
 // The paper models the domain as a complete weighted graph over a fixed set
 // of N vertices whose edge weights change over time; edges with weight zero
 // are simply absent from the adjacency lists. The graph index required by
-// DynDens (Section 3.2.1) is exactly this structure: per-vertex adjacency
-// lists (the neighbourhood vectors Γ_u) supporting efficient neighbourhood
-// merges when exploring a subgraph.
+// DynDens (Section 3.2.1) stores each neighbourhood Γ_u as a *sorted vector*
+// — here a pair of parallel slices ([]Vertex, []float64) kept in increasing
+// vertex order — precisely so that exploration can merge neighbourhood lists
+// cheaply: NeighborhoodScores is a k-way merge over the members' vectors into
+// a caller-owned scratch buffer, and Score/ScoreWith/EdgesNotIncident are
+// merge/scan passes over the same vectors. Point updates binary-search the
+// vector and insert/delete in place (amortised O(degree) worst case, O(log
+// degree) when the edge already exists, which is the steady state of a
+// weight-update stream).
 package graph
 
 import (
@@ -26,6 +32,70 @@ type Update struct {
 	Delta float64
 }
 
+// adjacency is one neighbourhood vector Γ_u: neighbours in strictly
+// increasing vertex order with the parallel edge weights.
+type adjacency struct {
+	vs []Vertex
+	ws []float64
+}
+
+// find returns the position of v in the vector and whether it is present;
+// absent vertices report their insertion point. vset.Search is the shared
+// sorted-[]Vertex lower-bound primitive (linear scan on small slices,
+// branch-free halving search above).
+func (l *adjacency) find(v Vertex) (int, bool) {
+	i := vset.Search(l.vs, v)
+	return i, i < len(l.vs) && l.vs[i] == v
+}
+
+// weight returns the edge weight to v (0 when absent).
+func (l *adjacency) weight(v Vertex) float64 {
+	if l == nil {
+		return 0
+	}
+	if i, ok := l.find(v); ok {
+		return l.ws[i]
+	}
+	return 0
+}
+
+// insert places (v, w) at position i, shifting the tail (amortised in-place).
+func (l *adjacency) insert(i int, v Vertex, w float64) {
+	l.vs = append(l.vs, 0)
+	l.ws = append(l.ws, 0)
+	copy(l.vs[i+1:], l.vs[i:])
+	copy(l.ws[i+1:], l.ws[i:])
+	l.vs[i] = v
+	l.ws[i] = w
+}
+
+// remove deletes position i, shifting the tail.
+func (l *adjacency) remove(i int) {
+	copy(l.vs[i:], l.vs[i+1:])
+	copy(l.ws[i:], l.ws[i+1:])
+	l.vs = l.vs[:len(l.vs)-1]
+	l.ws = l.ws[:len(l.ws)-1]
+}
+
+// sumOver returns Σ w(v) over the vertices of c present in the vector,
+// skipping skip. c is sorted (it is a vset.Set), so for tiny c each element
+// is binary-searched independently.
+func (l *adjacency) sumOver(c []Vertex, skip Vertex) float64 {
+	if l == nil {
+		return 0
+	}
+	var s float64
+	for _, v := range c {
+		if v == skip {
+			continue
+		}
+		if i, ok := l.find(v); ok {
+			s += l.ws[i]
+		}
+	}
+	return s
+}
+
 // Graph is a weighted undirected graph with streaming edge-weight updates.
 // The zero value is not usable; call New.
 //
@@ -33,7 +103,7 @@ type Update struct {
 // stream sequentially (as in the paper). Concurrent readers are safe as long
 // as no Apply call is in flight.
 type Graph struct {
-	adj map[Vertex]map[Vertex]float64
+	adj map[Vertex]*adjacency
 	// known remembers every vertex that ever carried an edge. The paper's
 	// vertex universe is fixed; a vertex whose last edge decays away can
 	// still belong to dense subgraphs (supergraphs of too-dense subgraphs
@@ -48,7 +118,7 @@ type Graph struct {
 // New returns an empty graph.
 func New() *Graph {
 	return &Graph{
-		adj:   make(map[Vertex]map[Vertex]float64),
+		adj:   make(map[Vertex]*adjacency),
 		known: make(map[Vertex]bool),
 	}
 }
@@ -58,17 +128,26 @@ func (g *Graph) Weight(a, b Vertex) float64 {
 	if a == b {
 		return 0
 	}
-	return g.adj[a][b]
+	return g.adj[a].weight(b)
 }
 
 // HasEdge reports whether edge {a, b} currently has non-zero weight.
 func (g *Graph) HasEdge(a, b Vertex) bool {
-	_, ok := g.adj[a][b]
+	l := g.adj[a]
+	if l == nil {
+		return false
+	}
+	_, ok := l.find(b)
 	return ok
 }
 
 // Degree returns the number of neighbours of u with non-zero edge weight.
-func (g *Graph) Degree(u Vertex) int { return len(g.adj[u]) }
+func (g *Graph) Degree(u Vertex) int {
+	if l := g.adj[u]; l != nil {
+		return len(l.vs)
+	}
+	return 0
+}
 
 // NumEdges returns the number of edges with non-zero weight.
 func (g *Graph) NumEdges() int { return g.edgeCount }
@@ -91,7 +170,7 @@ func (g *Graph) Apply(u Update) (before, after float64) {
 	if a == b {
 		return 0, 0
 	}
-	before = g.adj[a][b]
+	before = g.adj[a].weight(b)
 	after = before + u.Delta
 	if after <= 0 {
 		after = 0
@@ -112,62 +191,92 @@ func (g *Graph) SetWeight(a, b Vertex, w float64) {
 }
 
 func (g *Graph) setWeight(a, b Vertex, w float64) {
-	old, existed := g.adj[a][b]
+	la := g.adj[a]
 	if w == 0 {
-		if existed {
-			delete(g.adj[a], b)
-			delete(g.adj[b], a)
-			if len(g.adj[a]) == 0 {
-				delete(g.adj, a)
-			}
-			if len(g.adj[b]) == 0 {
-				delete(g.adj, b)
-			}
-			g.edgeCount--
-			g.totalWeight -= old
+		if la == nil {
+			return
 		}
+		i, ok := la.find(b)
+		if !ok {
+			return
+		}
+		old := la.ws[i]
+		la.remove(i)
+		lb := g.adj[b]
+		j, _ := lb.find(a)
+		lb.remove(j)
+		if len(la.vs) == 0 {
+			delete(g.adj, a)
+		}
+		if len(lb.vs) == 0 {
+			delete(g.adj, b)
+		}
+		g.edgeCount--
+		g.totalWeight -= old
 		return
 	}
-	// A vertex only ever (re)enters adj through adjacency-map creation, so
-	// marking it known here keeps the universe bookkeeping off the hot path.
-	if g.adj[a] == nil {
-		g.adj[a] = make(map[Vertex]float64)
+	// A vertex only ever (re)enters adj through vector creation, so marking
+	// it known here keeps the universe bookkeeping off the hot path.
+	if la == nil {
+		la = &adjacency{}
+		g.adj[a] = la
 		g.known[a] = true
 	}
-	if g.adj[b] == nil {
-		g.adj[b] = make(map[Vertex]float64)
+	lb := g.adj[b]
+	if lb == nil {
+		lb = &adjacency{}
+		g.adj[b] = lb
 		g.known[b] = true
 	}
-	g.adj[a][b] = w
-	g.adj[b][a] = w
-	if !existed {
-		g.edgeCount++
+	i, ok := la.find(b)
+	if ok {
+		old := la.ws[i]
+		la.ws[i] = w
+		j, _ := lb.find(a)
+		lb.ws[j] = w
+		g.totalWeight += w - old
+		return
 	}
-	g.totalWeight += w - old
+	la.insert(i, b, w)
+	j, _ := lb.find(a)
+	lb.insert(j, a, w)
+	g.edgeCount++
+	g.totalWeight += w
 }
 
-// Neighbors calls fn for every neighbour of u with non-zero edge weight.
-// Iteration order is unspecified.
+// Neighbors calls fn for every neighbour of u with non-zero edge weight, in
+// increasing vertex order.
 func (g *Graph) Neighbors(u Vertex, fn func(v Vertex, w float64)) {
-	for v, w := range g.adj[u] {
-		fn(v, w)
+	if l := g.adj[u]; l != nil {
+		for i, v := range l.vs {
+			fn(v, l.ws[i])
+		}
 	}
 }
 
-// NeighborsSorted returns the neighbours of u in increasing vertex order,
-// together with the corresponding edge weights. It allocates; use Neighbors
-// in hot paths.
+// Neighborhood returns the sorted neighbourhood vector Γ_u: u's neighbours in
+// increasing vertex order with the parallel edge weights. The returned slices
+// are the graph's own storage — callers must treat them as read-only and must
+// not hold them across mutations. This is the zero-copy accessor the paper's
+// Section 3.2.1 graph index exists to provide.
+func (g *Graph) Neighborhood(u Vertex) ([]Vertex, []float64) {
+	if l := g.adj[u]; l != nil {
+		return l.vs, l.ws
+	}
+	return nil, nil
+}
+
+// NeighborsSorted returns a copy of the neighbourhood vector of u. Use
+// Neighborhood in hot paths to avoid the allocation.
 func (g *Graph) NeighborsSorted(u Vertex) ([]Vertex, []float64) {
-	m := g.adj[u]
-	vs := make([]Vertex, 0, len(m))
-	for v := range m {
-		vs = append(vs, v)
+	l := g.adj[u]
+	if l == nil {
+		return nil, nil
 	}
-	sort.Slice(vs, func(i, j int) bool { return vs[i] < vs[j] })
-	ws := make([]float64, len(vs))
-	for i, v := range vs {
-		ws[i] = m[v]
-	}
+	vs := make([]Vertex, len(l.vs))
+	ws := make([]float64, len(l.ws))
+	copy(vs, l.vs)
+	copy(ws, l.ws)
 	return vs, ws
 }
 
@@ -196,17 +305,13 @@ func (g *Graph) KnownVertices() []Vertex {
 }
 
 // Score returns score(C) = Σ_{i,j ∈ C, i<j} w_ij, the total internal edge
-// weight of the subgraph induced by C.
+// weight of the subgraph induced by C. Each member's vector is probed for the
+// members after it; |C| ≤ Nmax is tiny, so this is O(|C|² log degree) with no
+// allocation.
 func (g *Graph) Score(c vset.Set) float64 {
 	var s float64
-	for i := 0; i < len(c); i++ {
-		ni := g.adj[c[i]]
-		if ni == nil {
-			continue
-		}
-		for j := i + 1; j < len(c); j++ {
-			s += ni[c[j]]
-		}
+	for i := 0; i+1 < len(c); i++ {
+		s += g.adj[c[i]].sumOver(c[i+1:], c[i])
 	}
 	return s
 }
@@ -215,62 +320,110 @@ func (g *Graph) Score(c vset.Set) float64 {
 // edges between u and the vertices of C. If u ∈ C the result is the weight of
 // edges from u to the rest of C.
 func (g *Graph) ScoreWith(c vset.Set, u Vertex) float64 {
-	nu := g.adj[u]
-	if nu == nil {
-		return 0
-	}
-	var s float64
-	for _, v := range c {
-		if v == u {
-			continue
-		}
-		s += nu[v]
-	}
-	return s
+	return g.adj[u].sumOver(c, u)
 }
 
-// NeighborhoodScores merges the adjacency lists of the vertices of C and
-// returns, for every vertex y ∉ C adjacent to at least one vertex of C, the
-// value Γ_C · ê_y = Σ_{v∈C} w_vy. This is the quantity DynDens needs when
-// exploring C: score(C ∪ {y}) = score(C) + Γ_C·ê_y (Section 3.2.1, footnote 6).
-func (g *Graph) NeighborhoodScores(c vset.Set) map[Vertex]float64 {
-	out := make(map[Vertex]float64)
+// NeighborhoodBuf is the reusable scratch a NeighborhoodScores merge works
+// in. The zero value is ready to use; after a first call its buffers are
+// retained, so steady-state reuse performs no allocations. It is owned by one
+// caller at a time (the engine keeps a free list of them so that recursive
+// explorations each work in their own buffer).
+type NeighborhoodBuf struct {
+	vs      []Vertex
+	ws      []float64
+	cursors []mergeCursor
+}
+
+// mergeCursor is one member's position in the k-way neighbourhood merge.
+type mergeCursor struct {
+	vs  []Vertex
+	ws  []float64
+	pos int
+}
+
+// NeighborhoodScores merges the neighbourhood vectors of the vertices of C
+// and returns, for every vertex y ∉ C adjacent to at least one vertex of C,
+// the value Γ_C · ê_y = Σ_{v∈C} w_vy — the quantity DynDens needs when
+// exploring C: score(C ∪ {y}) = score(C) + Γ_C·ê_y (Section 3.2.1,
+// footnote 6). The result vectors are sorted by vertex and remain valid until
+// buf's next use; they alias buf, not the graph.
+//
+// The merge is a |C|-way sorted-vector merge (|C| ≤ Nmax, so the per-output
+// cursor scan is a handful of comparisons) and allocates nothing once buf is
+// warm.
+func (g *Graph) NeighborhoodScores(c vset.Set, buf *NeighborhoodBuf) ([]Vertex, []float64) {
+	buf.vs = buf.vs[:0]
+	buf.ws = buf.ws[:0]
+	buf.cursors = buf.cursors[:0]
 	for _, v := range c {
-		for y, w := range g.adj[v] {
-			if c.Contains(y) {
-				continue
-			}
-			out[y] += w
+		if l := g.adj[v]; l != nil && len(l.vs) > 0 {
+			buf.cursors = append(buf.cursors, mergeCursor{vs: l.vs, ws: l.ws})
 		}
 	}
-	return out
+	ci := 0 // merge pointer into c, for skipping members
+	for {
+		// Smallest un-consumed head across the member vectors.
+		var best Vertex
+		found := false
+		for i := range buf.cursors {
+			cur := &buf.cursors[i]
+			if cur.pos < len(cur.vs) && (!found || cur.vs[cur.pos] < best) {
+				best, found = cur.vs[cur.pos], true
+			}
+		}
+		if !found {
+			return buf.vs, buf.ws
+		}
+		var sum float64
+		for i := range buf.cursors {
+			cur := &buf.cursors[i]
+			if cur.pos < len(cur.vs) && cur.vs[cur.pos] == best {
+				sum += cur.ws[cur.pos]
+				cur.pos++
+			}
+		}
+		for ci < len(c) && c[ci] < best {
+			ci++
+		}
+		if ci < len(c) && c[ci] == best {
+			continue // y ∈ C
+		}
+		buf.vs = append(buf.vs, best)
+		buf.ws = append(buf.ws, sum)
+	}
 }
 
 // EdgesNotIncident calls fn for every edge {u, v} (u < v) such that neither
 // endpoint belongs to C. DynDens needs this only in the rare case where an
 // implicitly represented too-dense supergraph C ∪ {*} must itself be explored
-// (Section 3.2.3).
+// (Section 3.2.3). The inner pass is a merge of the sorted neighbourhood
+// vector against the sorted members of C.
 func (g *Graph) EdgesNotIncident(c vset.Set, fn func(u, v Vertex, w float64)) {
-	for u, nbrs := range g.adj {
+	for u, l := range g.adj {
 		if c.Contains(u) {
 			continue
 		}
-		for v, w := range nbrs {
-			if u >= v || c.Contains(v) {
+		start, _ := l.find(u + 1) // first neighbour > u
+		ci := 0
+		for i := start; i < len(l.vs); i++ {
+			v := l.vs[i]
+			for ci < len(c) && c[ci] < v {
+				ci++
+			}
+			if ci < len(c) && c[ci] == v {
 				continue
 			}
-			fn(u, v, w)
+			fn(u, v, l.ws[i])
 		}
 	}
 }
 
 // Edges calls fn for every edge {u, v} with u < v and non-zero weight.
 func (g *Graph) Edges(fn func(u, v Vertex, w float64)) {
-	for u, nbrs := range g.adj {
-		for v, w := range nbrs {
-			if u < v {
-				fn(u, v, w)
-			}
+	for u, l := range g.adj {
+		start, _ := l.find(u + 1)
+		for i := start; i < len(l.vs); i++ {
+			fn(u, l.vs[i], l.ws[i])
 		}
 	}
 }
@@ -278,12 +431,11 @@ func (g *Graph) Edges(fn func(u, v Vertex, w float64)) {
 // Clone returns a deep copy of the graph.
 func (g *Graph) Clone() *Graph {
 	out := New()
-	for u, nbrs := range g.adj {
-		m := make(map[Vertex]float64, len(nbrs))
-		for v, w := range nbrs {
-			m[v] = w
-		}
-		out.adj[u] = m
+	for u, l := range g.adj {
+		cp := &adjacency{vs: make([]Vertex, len(l.vs)), ws: make([]float64, len(l.ws))}
+		copy(cp.vs, l.vs)
+		copy(cp.ws, l.ws)
+		out.adj[u] = cp
 	}
 	for v := range g.known {
 		out.known[v] = true

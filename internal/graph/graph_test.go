@@ -95,15 +95,24 @@ func TestNeighborhoodScores(t *testing.T) {
 	g.SetWeight(3, 4, 1.0)
 	g.SetWeight(2, 4, 0.5)
 	g.SetWeight(4, 5, 9.0)
-	ns := g.NeighborhoodScores(vset.New(2, 3))
-	if len(ns) != 2 {
-		t.Fatalf("expected neighbours {1,4}, got %v", ns)
+	var buf NeighborhoodBuf
+	vs, ws := g.NeighborhoodScores(vset.New(2, 3), &buf)
+	if len(vs) != 2 || vs[0] != 1 || vs[1] != 4 {
+		t.Fatalf("expected neighbours [1 4], got %v", vs)
 	}
-	if math.Abs(ns[1]-1.8) > 1e-12 {
-		t.Errorf("ns[1] = %v, want 1.8", ns[1])
+	if math.Abs(ws[0]-1.8) > 1e-12 {
+		t.Errorf("score of 1 = %v, want 1.8", ws[0])
 	}
-	if math.Abs(ns[4]-1.5) > 1e-12 {
-		t.Errorf("ns[4] = %v, want 1.5", ns[4])
+	if math.Abs(ws[1]-1.5) > 1e-12 {
+		t.Errorf("score of 4 = %v, want 1.5", ws[1])
+	}
+	// Reusing a warm buffer must be allocation-free.
+	c := vset.New(2, 3)
+	allocs := testing.AllocsPerRun(100, func() {
+		g.NeighborhoodScores(c, &buf)
+	})
+	if allocs != 0 {
+		t.Fatalf("NeighborhoodScores allocated %v times per warm call", allocs)
 	}
 }
 

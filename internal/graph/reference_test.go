@@ -1,0 +1,225 @@
+package graph
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"dyndens/internal/vset"
+)
+
+// refGraph is the map-of-maps adjacency representation the sorted-vector
+// Graph replaced. The property tests below drive both representations with
+// the same random update stream and require every query to agree, so the
+// merge/scan rewrites of Score, ScoreWith, NeighborhoodScores and the edge
+// enumerations are checked against the obviously-correct structure.
+type refGraph struct {
+	adj map[Vertex]map[Vertex]float64
+}
+
+func newRefGraph() *refGraph { return &refGraph{adj: make(map[Vertex]map[Vertex]float64)} }
+
+func (r *refGraph) apply(u Update) {
+	if u.A == u.B {
+		return
+	}
+	w := r.adj[u.A][u.B] + u.Delta
+	if w <= 0 {
+		if _, ok := r.adj[u.A][u.B]; ok {
+			delete(r.adj[u.A], u.B)
+			delete(r.adj[u.B], u.A)
+			if len(r.adj[u.A]) == 0 {
+				delete(r.adj, u.A)
+			}
+			if len(r.adj[u.B]) == 0 {
+				delete(r.adj, u.B)
+			}
+		}
+		return
+	}
+	if r.adj[u.A] == nil {
+		r.adj[u.A] = make(map[Vertex]float64)
+	}
+	if r.adj[u.B] == nil {
+		r.adj[u.B] = make(map[Vertex]float64)
+	}
+	r.adj[u.A][u.B] = w
+	r.adj[u.B][u.A] = w
+}
+
+func (r *refGraph) score(c vset.Set) float64 {
+	var s float64
+	for i := 0; i < len(c); i++ {
+		for j := i + 1; j < len(c); j++ {
+			s += r.adj[c[i]][c[j]]
+		}
+	}
+	return s
+}
+
+func (r *refGraph) scoreWith(c vset.Set, u Vertex) float64 {
+	var s float64
+	for _, v := range c {
+		if v != u {
+			s += r.adj[u][v]
+		}
+	}
+	return s
+}
+
+func (r *refGraph) neighborhoodScores(c vset.Set) map[Vertex]float64 {
+	out := make(map[Vertex]float64)
+	for _, v := range c {
+		for y, w := range r.adj[v] {
+			if !c.Contains(y) {
+				out[y] += w
+			}
+		}
+	}
+	return out
+}
+
+// randomSet draws a subset of [0, universe) with each vertex included with
+// probability p.
+func randomSet(rng *rand.Rand, universe int, p float64) vset.Set {
+	var c vset.Set
+	for v := Vertex(0); v < Vertex(universe); v++ {
+		if rng.Float64() < p {
+			c = c.Add(v)
+		}
+	}
+	return c
+}
+
+func TestSortedVectorsMatchMapReference(t *testing.T) {
+	const (
+		trials   = 40
+		universe = 16
+		steps    = 300
+	)
+	for trial := 0; trial < trials; trial++ {
+		rng := rand.New(rand.NewSource(int64(1000 + trial)))
+		g := New()
+		ref := newRefGraph()
+		var buf NeighborhoodBuf
+		for step := 0; step < steps; step++ {
+			u := Update{
+				A:     Vertex(rng.Intn(universe)),
+				B:     Vertex(rng.Intn(universe)),
+				Delta: rng.Float64()*2 - 0.6, // mixed growth and decay
+			}
+			g.Apply(u)
+			ref.apply(u)
+
+			if step%10 != 0 {
+				continue
+			}
+			// Point queries across the whole universe.
+			for a := Vertex(0); a < Vertex(universe); a++ {
+				for b := a + 1; b < Vertex(universe); b++ {
+					if got, want := g.Weight(a, b), ref.adj[a][b]; math.Abs(got-want) > 1e-9 {
+						t.Fatalf("trial %d step %d: Weight(%d,%d) = %v, want %v", trial, step, a, b, got, want)
+					}
+				}
+			}
+			// Subset queries on random sets of varying density.
+			for _, p := range []float64{0.15, 0.4, 0.8} {
+				c := randomSet(rng, universe, p)
+				if got, want := g.Score(c), ref.score(c); math.Abs(got-want) > 1e-9 {
+					t.Fatalf("trial %d step %d: Score(%v) = %v, want %v", trial, step, c, got, want)
+				}
+				for v := Vertex(0); v < Vertex(universe); v++ {
+					if got, want := g.ScoreWith(c, v), ref.scoreWith(c, v); math.Abs(got-want) > 1e-9 {
+						t.Fatalf("trial %d step %d: ScoreWith(%v,%d) = %v, want %v", trial, step, c, v, got, want)
+					}
+				}
+				vs, ws := g.NeighborhoodScores(c, &buf)
+				want := ref.neighborhoodScores(c)
+				if len(vs) != len(want) {
+					t.Fatalf("trial %d step %d: NeighborhoodScores(%v) has %d entries (%v), want %d (%v)",
+						trial, step, c, len(vs), vs, len(want), want)
+				}
+				for i, y := range vs {
+					if i > 0 && vs[i-1] >= y {
+						t.Fatalf("trial %d step %d: NeighborhoodScores not strictly sorted: %v", trial, step, vs)
+					}
+					if w, ok := want[y]; !ok || math.Abs(ws[i]-w) > 1e-9 {
+						t.Fatalf("trial %d step %d: NeighborhoodScores(%v)[%d] = %v, want %v", trial, step, c, y, ws[i], want[y])
+					}
+				}
+			}
+			// Edge enumeration parity: count and total weight.
+			gotN, gotW := 0, 0.0
+			g.Edges(func(u, v Vertex, w float64) { gotN++; gotW += w })
+			wantN, wantW := 0, 0.0
+			for u, nbrs := range ref.adj {
+				for v, w := range nbrs {
+					if u < v {
+						wantN++
+						wantW += w
+					}
+				}
+			}
+			if gotN != wantN || math.Abs(gotW-wantW) > 1e-6 {
+				t.Fatalf("trial %d step %d: Edges = (%d, %v), want (%d, %v)", trial, step, gotN, gotW, wantN, wantW)
+			}
+			// EdgesNotIncident parity on a random excluded set.
+			c := randomSet(rng, universe, 0.3)
+			gotN, gotW = 0, 0.0
+			g.EdgesNotIncident(c, func(u, v Vertex, w float64) {
+				if c.Contains(u) || c.Contains(v) || u >= v {
+					t.Fatalf("trial %d step %d: EdgesNotIncident(%v) yielded %d-%d", trial, step, c, u, v)
+				}
+				gotN++
+				gotW += w
+			})
+			wantN, wantW = 0, 0.0
+			for u, nbrs := range ref.adj {
+				if c.Contains(u) {
+					continue
+				}
+				for v, w := range nbrs {
+					if u < v && !c.Contains(v) {
+						wantN++
+						wantW += w
+					}
+				}
+			}
+			if gotN != wantN || math.Abs(gotW-wantW) > 1e-6 {
+				t.Fatalf("trial %d step %d: EdgesNotIncident(%v) = (%d, %v), want (%d, %v)", trial, step, c, gotN, gotW, wantN, wantW)
+			}
+		}
+	}
+}
+
+// TestAdjacencyVectorInvariant checks the representation invariant directly:
+// after arbitrary updates every neighbourhood vector is strictly increasing
+// and symmetric with its mirror entries.
+func TestAdjacencyVectorInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g := New()
+	for i := 0; i < 2000; i++ {
+		g.Apply(Update{
+			A:     Vertex(rng.Intn(30)),
+			B:     Vertex(rng.Intn(30)),
+			Delta: rng.Float64()*3 - 1,
+		})
+	}
+	for _, u := range g.Vertices() {
+		vs, ws := g.Neighborhood(u)
+		if len(vs) != len(ws) {
+			t.Fatalf("vertex %d: parallel vectors out of sync: %d vs %d", u, len(vs), len(ws))
+		}
+		for i, v := range vs {
+			if i > 0 && vs[i-1] >= v {
+				t.Fatalf("vertex %d: neighbourhood not strictly increasing: %v", u, vs)
+			}
+			if v == u {
+				t.Fatalf("vertex %d: self-loop in neighbourhood", u)
+			}
+			if got := g.Weight(v, u); got != ws[i] {
+				t.Fatalf("edge {%d,%d}: asymmetric weights %v vs %v", u, v, ws[i], got)
+			}
+		}
+	}
+}

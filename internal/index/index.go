@@ -76,12 +76,22 @@ func (n *Node) Parent() *Node { return n.parent }
 
 // Set reconstructs the represented vertex set by walking parent pointers.
 // For star nodes the Star vertex is omitted: the result is the base set.
-func (n *Node) Set() vset.Set {
+func (n *Node) Set() vset.Set { return n.SetInto(nil) }
+
+// SetInto reconstructs the represented vertex set into buf, reusing its
+// capacity (the engine's update loop reconstructs one affected set after
+// another into the same scratch buffer). The result aliases buf's backing
+// array unless it had to grow; callers that retain it past the next SetInto
+// must clone it.
+func (n *Node) SetInto(buf []vset.Vertex) vset.Set {
 	depth := n.depth
 	if n.star {
 		depth--
 	}
-	out := make(vset.Set, depth)
+	if cap(buf) < depth {
+		buf = make([]vset.Vertex, depth)
+	}
+	out := buf[:depth]
 	i := depth - 1
 	for cur := n; cur != nil && cur.parent != nil; cur = cur.parent {
 		if cur.star {
@@ -90,7 +100,7 @@ func (n *Node) Set() vset.Set {
 		out[i] = cur.label
 		i--
 	}
-	return out
+	return vset.Set(out)
 }
 
 // Index is the dense-subgraph index. The zero value is not usable; call New.
@@ -352,88 +362,104 @@ func (ix *Index) DenseNodes() []*Node {
 	return out
 }
 
-// DenseContaining returns a snapshot of every explicitly indexed dense
-// subgraph that contains vertex u, each exactly once. It traverses the
-// subtrees rooted at the nodes on u's inverted list; since a set containing u
-// has exactly one ancestor-or-self node labelled u, no set is visited twice.
-func (ix *Index) DenseContaining(u Vertex) []*Node {
-	var out []*Node
+// appendDenseSubtree appends every dense node strictly below n to dst,
+// skipping star children and any subtree rooted at a child labelled cut.
+// Passing Star as cut disables the extra cut (star children are skipped
+// regardless). It is a plain method recursion — no closures — so snapshot
+// collection into a reused buffer performs no allocations beyond dst growth.
+func appendDenseSubtree(dst []*Node, n *Node, cut Vertex) []*Node {
+	for _, child := range n.children {
+		if child.star || child.label == cut {
+			continue
+		}
+		if child.dense {
+			dst = append(dst, child)
+		}
+		dst = appendDenseSubtree(dst, child, cut)
+	}
+	return dst
+}
+
+// AppendDenseContaining appends a snapshot of every explicitly indexed dense
+// subgraph that contains vertex u to dst (reusing its capacity) and returns
+// the extended slice, each node exactly once. It traverses the subtrees
+// rooted at the nodes on u's inverted list; since a set containing u has
+// exactly one ancestor-or-self node labelled u, no set is visited twice.
+func (ix *Index) AppendDenseContaining(dst []*Node, u Vertex) []*Node {
 	for head := ix.inv[u]; head != nil; head = head.invNext {
 		if head.star {
 			continue
 		}
 		if head.dense {
-			out = append(out, head)
+			dst = append(dst, head)
 		}
-		ix.walk(head, func(n *Node) bool {
-			if n.dense {
-				out = append(out, n)
-			}
-			return true
-		})
+		dst = appendDenseSubtree(dst, head, Star)
 	}
-	return out
+	return dst
 }
 
-// DenseContainingEither returns a snapshot of every explicitly indexed dense
-// subgraph containing a or b (or both), each exactly once. This is the
-// iteration Algorithm 1 performs for a positive edge-weight update; the
-// traversal order follows Section 3.2.2: first the subtrees on b's inverted
-// list, then the subtrees on a's list with descent cut at nodes labelled b
-// (assuming a < b), so no subgraph is examined twice.
-func (ix *Index) DenseContainingEither(a, b Vertex) []*Node {
+// DenseContaining is AppendDenseContaining into a fresh slice.
+func (ix *Index) DenseContaining(u Vertex) []*Node {
+	return ix.AppendDenseContaining(nil, u)
+}
+
+// AppendDenseContainingEither appends a snapshot of every explicitly indexed
+// dense subgraph containing a or b (or both) to dst, each exactly once, and
+// returns the extended slice. This is the iteration Algorithm 1 performs for
+// a positive edge-weight update; the traversal order follows Section 3.2.2:
+// first the subtrees on b's inverted list, then the subtrees on a's list with
+// descent cut at nodes labelled b (assuming a < b), so no subgraph is
+// examined twice. The engine reuses one dst across updates, making the
+// snapshot allocation-free in steady state.
+func (ix *Index) AppendDenseContainingEither(dst []*Node, a, b Vertex) []*Node {
 	if a == b {
-		return ix.DenseContaining(a)
+		return ix.AppendDenseContaining(dst, a)
 	}
 	if a > b {
 		a, b = b, a
-	}
-	var out []*Node
-	collect := func(n *Node) bool {
-		if n.dense {
-			out = append(out, n)
-		}
-		return true
 	}
 	for head := ix.inv[b]; head != nil; head = head.invNext {
 		if head.star {
 			continue
 		}
-		collect(head)
-		ix.walk(head, collect)
-	}
-	// Subtrees under a's inverted list, stopping whenever a node labelled b is
-	// reached (those subgraphs contain b and were already collected above).
-	var walkCut func(n *Node) bool
-	walkCut = func(n *Node) bool {
-		for _, child := range n.children {
-			if child.star || child.label == b {
-				continue
-			}
-			collect(child)
-			walkCut(child)
+		if head.dense {
+			dst = append(dst, head)
 		}
-		return true
+		dst = appendDenseSubtree(dst, head, Star)
 	}
+	// Subtrees under a's inverted list, cut whenever a node labelled b is
+	// reached (those subgraphs contain b and were already collected above).
 	for head := ix.inv[a]; head != nil; head = head.invNext {
 		if head.star {
 			continue
 		}
-		collect(head)
-		walkCut(head)
+		if head.dense {
+			dst = append(dst, head)
+		}
+		dst = appendDenseSubtree(dst, head, b)
 	}
-	return out
+	return dst
 }
 
-// StarNodes returns a snapshot of all ImplicitTooDense star nodes.
-func (ix *Index) StarNodes() []*Node {
-	var out []*Node
+// DenseContainingEither is AppendDenseContainingEither into a fresh slice.
+func (ix *Index) DenseContainingEither(a, b Vertex) []*Node {
+	return ix.AppendDenseContainingEither(nil, a, b)
+}
+
+// AppendStarNodes appends a snapshot of all ImplicitTooDense star nodes to
+// dst and returns the extended slice.
+func (ix *Index) AppendStarNodes(dst []*Node) []*Node {
 	for head := ix.inv[Star]; head != nil; head = head.invNext {
 		if head.star {
-			out = append(out, head)
+			dst = append(dst, head)
 		}
 	}
-	return out
+	return dst
+}
+
+// StarNodes is AppendStarNodes into a fresh slice.
+func (ix *Index) StarNodes() []*Node {
+	return ix.AppendStarNodes(nil)
 }
 
 // Validate checks internal invariants (counts, linkage, depth bookkeeping).

@@ -391,6 +391,14 @@ func (se *ShardedEngine) runWorker(w *worker) {
 	defer se.workerWG.Done()
 	for b := range w.in {
 		start := time.Now()
+		// Workers run their engines in slice mode: the per-update event
+		// slices cross the results channel to the merge goroutine, so the
+		// sets must be private copies — the engine's CollectorSink declares
+		// RetainsSets and the engine clones each emitted set out of its
+		// scratch. Everything else (neighbourhood merges, candidate sets,
+		// index snapshots) stays in the worker engine's own reusable
+		// buffers, so each shard inherits the allocation-free exploration
+		// path.
 		per := make([][]core.Event, len(b.updates))
 		for i, u := range b.updates {
 			per[i] = w.eng.ProcessRouted(u, se.router.Primary(u) == w.id)

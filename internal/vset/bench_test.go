@@ -1,0 +1,101 @@
+package vset
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Micro-benchmarks for the set primitives on the engine's hot path. Sizes
+// bracket the regimes of the hand-rolled search: tiny sets (linear scan,
+// |C| ≤ Nmax as in exploration) and larger ones (branch-free binary search,
+// as in watchlists or test harnesses).
+
+func benchSet(n int) Set {
+	vs := make([]Vertex, n)
+	for i := range vs {
+		vs[i] = Vertex(2 * i) // even values so misses probe the gaps
+	}
+	return FromSorted(vs)
+}
+
+func BenchmarkContains(b *testing.B) {
+	for _, n := range []int{4, 8, 64, 1024} {
+		s := benchSet(n)
+		b.Run(sizeName(n), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(1))
+			probes := make([]Vertex, 1024)
+			for i := range probes {
+				probes[i] = Vertex(rng.Intn(2 * n)) // ~50% hits
+			}
+			b.ResetTimer()
+			var hits int
+			for i := 0; i < b.N; i++ {
+				if s.Contains(probes[i&1023]) {
+					hits++
+				}
+			}
+			sinkInt = hits
+		})
+	}
+}
+
+func BenchmarkAdd(b *testing.B) {
+	for _, n := range []int{4, 8, 64} {
+		s := benchSet(n)
+		b.Run(sizeName(n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				sinkSet = s.Add(Vertex(2*n/2 + 1)) // always a miss → insert
+			}
+		})
+	}
+}
+
+func BenchmarkAddInto(b *testing.B) {
+	for _, n := range []int{4, 8, 64} {
+		s := benchSet(n)
+		buf := make([]Vertex, 0, n+1)
+		b.Run(sizeName(n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				out := AddInto(buf, s, Vertex(n+1))
+				buf = out[:0]
+			}
+		})
+	}
+}
+
+func BenchmarkUnion(b *testing.B) {
+	for _, n := range []int{4, 64, 1024} {
+		s := benchSet(n)
+		t := make(Set, n)
+		for i := range t {
+			t[i] = Vertex(2*i + 1) // interleaves with s
+		}
+		b.Run(sizeName(n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				sinkSet = s.Union(t)
+			}
+		})
+	}
+}
+
+var (
+	sinkInt int
+	sinkSet Set
+)
+
+func sizeName(n int) string {
+	switch n {
+	case 4:
+		return "n=4"
+	case 8:
+		return "n=8"
+	case 64:
+		return "n=64"
+	case 1024:
+		return "n=1024"
+	}
+	return "n=?"
+}

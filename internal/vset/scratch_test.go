@@ -1,0 +1,111 @@
+package vset
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// TestSearchMatchesSortSearch cross-checks the hand-rolled search (linear
+// under linearScanMax, branch-free halving above) against sort.Search over
+// random sorted slices of every size around the regime switch.
+func TestSearchMatchesSortSearch(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for size := 0; size <= 40; size++ {
+		for trial := 0; trial < 50; trial++ {
+			s := make([]Vertex, 0, size)
+			seen := map[Vertex]bool{}
+			for len(s) < size {
+				v := Vertex(rng.Intn(4 * (size + 1)))
+				if !seen[v] {
+					seen[v] = true
+					s = append(s, v)
+				}
+			}
+			sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+			for probe := Vertex(-1); probe <= Vertex(4*(size+1)); probe++ {
+				want := sort.Search(len(s), func(i int) bool { return s[i] >= probe })
+				if got := Search(s, probe); got != want {
+					t.Fatalf("size %d: Search(%v, %d) = %d, want %d", size, s, probe, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestAddInto(t *testing.T) {
+	s := New(2, 5, 9)
+	buf := make([]Vertex, 0, 8)
+
+	got := AddInto(buf, s, 7)
+	if !got.Equal(New(2, 5, 7, 9)) {
+		t.Fatalf("AddInto insert = %v", got)
+	}
+	if &got[0] != &buf[:1][0] {
+		t.Fatal("AddInto did not reuse the buffer")
+	}
+	// Duplicate: result equals s but is still a copy in buf.
+	got = AddInto(buf, s, 5)
+	if !got.Equal(s) {
+		t.Fatalf("AddInto dup = %v", got)
+	}
+	// Prepend and append positions.
+	if got := AddInto(buf, s, 1); !got.Equal(New(1, 2, 5, 9)) {
+		t.Fatalf("AddInto front = %v", got)
+	}
+	if got := AddInto(buf, s, 11); !got.Equal(New(2, 5, 9, 11)) {
+		t.Fatalf("AddInto back = %v", got)
+	}
+	// Empty source.
+	if got := AddInto(buf, nil, 3); !got.Equal(New(3)) {
+		t.Fatalf("AddInto empty = %v", got)
+	}
+	// Source must be untouched throughout.
+	if !s.Equal(New(2, 5, 9)) {
+		t.Fatalf("source mutated: %v", s)
+	}
+}
+
+func TestAdd2Into(t *testing.T) {
+	s := New(3, 6)
+	buf := make([]Vertex, 0, 8)
+	cases := []struct {
+		u, v Vertex
+		want Set
+	}{
+		{1, 9, New(1, 3, 6, 9)},
+		{9, 1, New(1, 3, 6, 9)},
+		{4, 5, New(3, 4, 5, 6)},
+		{3, 6, New(3, 6)},    // both already present
+		{3, 7, New(3, 6, 7)}, // one present
+		{7, 7, New(3, 6, 7)}, // duplicate pair
+	}
+	for _, tc := range cases {
+		if got := Add2Into(buf, s, tc.u, tc.v); !got.Equal(tc.want) {
+			t.Fatalf("Add2Into(%d, %d) = %v, want %v", tc.u, tc.v, got, tc.want)
+		}
+	}
+	if !s.Equal(New(3, 6)) {
+		t.Fatalf("source mutated: %v", s)
+	}
+}
+
+// TestAddIntoAllocFree verifies the zero-allocation contract the exploration
+// hot path depends on: with sufficient buffer capacity, AddInto/Add2Into must
+// not allocate.
+func TestAddIntoAllocFree(t *testing.T) {
+	s := New(1, 4, 8, 12)
+	buf := make([]Vertex, 0, 8)
+	if allocs := testing.AllocsPerRun(200, func() {
+		out := AddInto(buf, s, 6)
+		buf = out[:0]
+	}); allocs != 0 {
+		t.Fatalf("AddInto allocated %v times with warm buffer", allocs)
+	}
+	if allocs := testing.AllocsPerRun(200, func() {
+		out := Add2Into(buf, s, 6, 20)
+		buf = out[:0]
+	}); allocs != 0 {
+		t.Fatalf("Add2Into allocated %v times with warm buffer", allocs)
+	}
+}

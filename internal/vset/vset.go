@@ -60,9 +60,46 @@ func (s Set) Len() int { return len(s) }
 // Empty reports whether the set has no elements.
 func (s Set) Empty() bool { return len(s) == 0 }
 
+// linearScanMax is the set size below which membership and insertion-point
+// queries scan linearly instead of binary-searching: on the tiny sets DynDens
+// manipulates (|C| ≤ Nmax) a predictable scan beats the search's data-
+// dependent branches.
+const linearScanMax = 8
+
+// Search returns the smallest index i with s[i] >= v (len(s) if none) — the
+// lower bound of v in the sorted slice s. Small slices are scanned linearly;
+// larger ones use a branch-free halving search (the conditional advance
+// compiles to a CMOV, so the loop has no data-dependent branches), avoiding
+// sort.Search's closure indirection. It is the shared sorted-[]Vertex lookup
+// primitive: sets here use it for membership and insertion points, and the
+// graph's sorted neighbourhood vectors use it for point updates.
+func Search(s []Vertex, v Vertex) int {
+	n := len(s)
+	if n <= linearScanMax {
+		for i, x := range s {
+			if x >= v {
+				return i
+			}
+		}
+		return n
+	}
+	lo := 0
+	for n > 1 {
+		half := n >> 1
+		if s[lo+half-1] < v {
+			lo += half
+		}
+		n -= half
+	}
+	if s[lo] < v {
+		lo++
+	}
+	return lo
+}
+
 // Contains reports whether v is an element of s.
 func (s Set) Contains(v Vertex) bool {
-	i := sort.Search(len(s), func(i int) bool { return s[i] >= v })
+	i := Search(s, v)
 	return i < len(s) && s[i] == v
 }
 
@@ -108,7 +145,7 @@ func (s Set) Clone() Set {
 // Add returns s ∪ {v}. If v is already present the receiver is returned
 // unchanged (it is safe to use the result without copying).
 func (s Set) Add(v Vertex) Set {
-	i := sort.Search(len(s), func(i int) bool { return s[i] >= v })
+	i := Search(s, v)
 	if i < len(s) && s[i] == v {
 		return s
 	}
@@ -119,9 +156,40 @@ func (s Set) Add(v Vertex) Set {
 	return out
 }
 
+// AddInto writes s ∪ {v} into dst, reusing dst's capacity, and returns the
+// result (which aliases dst's backing array unless it had to grow). It is the
+// scratch-buffer form of Add used by the engine's exploration hot path: a
+// caller that owns dst can build candidate sets without allocating. dst must
+// not alias s.
+func AddInto(dst []Vertex, s Set, v Vertex) Set {
+	dst = append(dst[:0], s...)
+	return insertInto(dst, v)
+}
+
+// Add2Into writes s ∪ {u, v} into dst, reusing dst's capacity, and returns
+// the result. It is the scratch-buffer form of s.Add(u).Add(v), used when the
+// engine augments a base subgraph with a whole edge. dst must not alias s.
+func Add2Into(dst []Vertex, s Set, u, v Vertex) Set {
+	dst = append(dst[:0], s...)
+	return insertInto(insertInto(dst, u), v)
+}
+
+// insertInto inserts v into the sorted slice s in place (growing via append
+// only when capacity is exhausted); duplicates are left untouched.
+func insertInto(s []Vertex, v Vertex) Set {
+	i := Search(s, v)
+	if i < len(s) && s[i] == v {
+		return s
+	}
+	s = append(s, 0)
+	copy(s[i+1:], s[i:])
+	s[i] = v
+	return s
+}
+
 // Remove returns s \ {v}. If v is not present the receiver is returned.
 func (s Set) Remove(v Vertex) Set {
-	i := sort.Search(len(s), func(i int) bool { return s[i] >= v })
+	i := Search(s, v)
 	if i >= len(s) || s[i] != v {
 		return s
 	}

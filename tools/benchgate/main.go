@@ -1,0 +1,115 @@
+// Command benchgate is the CI benchmark regression gate: it parses two `go
+// test -bench` output files (base and head), compares the median ns/op of
+// every benchmark present in both, and exits non-zero if any regresses by
+// more than the allowed fraction.
+//
+// benchstat produces the human-readable statistical report in the same CI
+// job; benchgate exists because a gate needs a stable exit code, not a
+// formatted table. It deliberately parses the raw `go test -bench` line
+// format (stable since Go 1.x) rather than benchstat's output.
+//
+// Usage:
+//
+//	benchgate -base base.txt -head head.txt [-max-regress 0.15]
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// benchLine matches e.g.
+//
+//	BenchmarkProcessMixed-8   2868   450652 ns/op   62 B/op   0 allocs/op
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op`)
+
+// parse returns benchmark name → observed ns/op samples.
+func parse(path string) (map[string][]float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	out := make(map[string][]float64)
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		v, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("%s: bad ns/op in %q: %v", path, sc.Text(), err)
+		}
+		out[m[1]] = append(out[m[1]], v)
+	}
+	return out, sc.Err()
+}
+
+// median is used instead of the mean so one noisy CI sample cannot flip the
+// gate in either direction.
+func median(xs []float64) float64 {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+func main() {
+	basePath := flag.String("base", "", "bench output of the base revision")
+	headPath := flag.String("head", "", "bench output of the head revision")
+	maxRegress := flag.Float64("max-regress", 0.15, "maximum allowed ns/op regression as a fraction (0.15 = +15%)")
+	flag.Parse()
+	if *basePath == "" || *headPath == "" {
+		fmt.Fprintln(os.Stderr, "benchgate: -base and -head are required")
+		os.Exit(2)
+	}
+	base, err := parse(*basePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(2)
+	}
+	head, err := parse(*headPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(2)
+	}
+
+	names := make([]string, 0, len(base))
+	for name := range base {
+		if _, ok := head[name]; ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		fmt.Fprintln(os.Stderr, "benchgate: no common benchmarks between base and head")
+		os.Exit(2)
+	}
+
+	failed := false
+	for _, name := range names {
+		b, h := median(base[name]), median(head[name])
+		delta := (h - b) / b
+		status := "ok"
+		if delta > *maxRegress {
+			status = "REGRESSION"
+			failed = true
+		}
+		fmt.Printf("%-40s base=%12.0f ns/op  head=%12.0f ns/op  delta=%+6.1f%%  %s\n",
+			strings.TrimPrefix(name, "Benchmark"), b, h, 100*delta, status)
+	}
+	if failed {
+		fmt.Fprintf(os.Stderr, "benchgate: ns/op regressed by more than %.0f%% on at least one benchmark\n", 100**maxRegress)
+		os.Exit(1)
+	}
+}
