@@ -10,6 +10,7 @@ import (
 
 	"dyndens/internal/core"
 	"dyndens/internal/shard"
+	"dyndens/internal/story"
 	"dyndens/internal/stream"
 )
 
@@ -78,6 +79,60 @@ type benchResult struct {
 	// PerShardBusyNs is the per-worker busy time for sharded runs (empty for
 	// the single-threaded path).
 	PerShardBusyNs []int64 `json:"per_shard_busy_ns,omitempty"`
+
+	// DocPipeline is present for -docs runs: the document→story pipeline's
+	// aggregation and story-lifecycle counters.
+	DocPipeline *docPipelineResult `json:"doc_pipeline,omitempty"`
+}
+
+// docPipelineResult is the -docs mode extension of benchResult. The config
+// fields make the snapshot self-describing: together with the shared
+// workload/config blocks they are exactly the flags that reproduce the run
+// (in -docs mode the workload block's negative_fraction/mean_delta are
+// zeroed — the document generator has no such knobs).
+type docPipelineResult struct {
+	Stories     int     `json:"stories"`
+	StorySize   int     `json:"story_size"`
+	EpochLength int64   `json:"epoch_length"`
+	Decay       float64 `json:"decay"`
+
+	Docs         int   `json:"docs"`
+	PairUpdates  int   `json:"pair_updates"`
+	DecayUpdates int   `json:"decay_updates"`
+	RetiredPairs int   `json:"retired_pairs"`
+	Epochs       int64 `json:"epochs"`
+	TrackedPairs int   `json:"tracked_pairs"`
+
+	StoriesBorn   int `json:"stories_born"`
+	StoriesSplit  int `json:"stories_split"`
+	StoriesMerged int `json:"stories_merged"`
+	StoriesDied   int `json:"stories_died"`
+	StoriesLive   int `json:"stories_live"`
+	StoriesFading int `json:"stories_fading"`
+	Records       int `json:"records"`
+}
+
+func newDocPipelineResult(stories, storySize int, aggCfg stream.AggregatorConfig, aggStats stream.AggregatorStats, tracker *story.Tracker) *docPipelineResult {
+	st := tracker.Stats()
+	return &docPipelineResult{
+		Stories:       stories,
+		StorySize:     storySize,
+		EpochLength:   aggCfg.EpochLength,
+		Decay:         aggCfg.Decay,
+		Docs:          aggStats.Docs,
+		PairUpdates:   aggStats.PairUpdates,
+		DecayUpdates:  aggStats.DecayUpdates,
+		RetiredPairs:  aggStats.Retired,
+		Epochs:        aggStats.Epochs,
+		TrackedPairs:  aggStats.TrackedPairs,
+		StoriesBorn:   st.Born,
+		StoriesSplit:  st.Split,
+		StoriesMerged: st.Merged,
+		StoriesDied:   st.Died,
+		StoriesLive:   st.Live,
+		StoriesFading: st.Fading,
+		Records:       len(tracker.Records()),
+	}
 }
 
 func (r *benchResult) fillCommon(synthCfg stream.SynthConfig, engCfg core.Config, shards, batch int) {
@@ -183,7 +238,12 @@ func cmdBench(args []string) error {
 	batch := fs.Int("batch", 256, "micro-batch size for the replay driver")
 	shards := fs.Int("shards", 0, "partition the engine across K workers (0 = single-threaded)")
 	jsonOut := fs.String("json", "", "also write a machine-readable result to this `path` (- for stdout)")
-	newEngineCfg := engineFlags(fs)
+	docsMode := fs.Bool("docs", false, "bench the document→story pipeline: -vertices are background entities, -updates documents, -skew the background Zipf exponent (-neg/-mean unused)")
+	docStories := fs.Int("doc-stories", 3, "planted stories (with -docs)")
+	docStorySize := fs.Int("doc-story-size", 4, "entities per planted story (with -docs)")
+	epoch := fs.Int64("epoch", 25, "fading epoch length in document time units (with -docs)")
+	decay := fs.Float64("decay", 0.7, "per-epoch fading factor (with -docs)")
+	newEngineCfg := engineFlags(fs, 3, 5)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -192,9 +252,39 @@ func cmdBench(args []string) error {
 		return fmt.Errorf("bench: %w", err)
 	}
 
-	src, err := stream.NewSynthetic(synthCfg)
-	if err != nil {
-		return err
+	// The -docs pipeline replays aggregated co-occurrence updates into the
+	// engine with the story tracker attached, so the measured cost is the
+	// full documents-in → stories-out path; the default mode replays raw
+	// synthetic edge deltas into a counting sink.
+	var src stream.UpdateSource
+	var agg *stream.Aggregator
+	var tracker *story.Tracker
+	if *docsMode {
+		if err := checkDecay(*decay); err != nil {
+			return fmt.Errorf("bench: %w", err)
+		}
+		gen, err := stream.NewDocSynthetic(stream.DocSynthConfig{
+			BackgroundEntities: synthCfg.Vertices,
+			Stories:            *docStories,
+			StorySize:          *docStorySize,
+			Docs:               synthCfg.Updates,
+			Seed:               synthCfg.Seed,
+			BackgroundSkew:     synthCfg.Skew,
+		})
+		if err != nil {
+			return err
+		}
+		if agg, err = stream.NewAggregator(gen, stream.AggregatorConfig{EpochLength: *epoch, Decay: *decay}); err != nil {
+			return err
+		}
+		if tracker, err = story.NewTracker(story.Config{MinCardinality: 3, Grace: 350}); err != nil {
+			return err
+		}
+		src = agg
+	} else {
+		if src, err = stream.NewSynthetic(synthCfg); err != nil {
+			return err
+		}
 	}
 	engCfg, err := newEngineCfg()
 	if err != nil {
@@ -219,6 +309,9 @@ func cmdBench(args []string) error {
 			return err
 		}
 		defer se.Close()
+		if tracker != nil {
+			se.SetSeqSink(tracker)
+		}
 		mem := takeMemSnapshot()
 		st, err := stream.NewShardReplay(src, se, sink).Run(*batch)
 		if err != nil {
@@ -230,6 +323,10 @@ func cmdBench(args []string) error {
 		fmt.Println(st)
 		fmt.Printf("sink:   became=%d ceased=%d (net output-dense=%d, deduped=%d)\n",
 			sink.Became, sink.Ceased, se.OutputDenseCount(), stats.DedupedEvents)
+		if tracker != nil {
+			tracker.Close(uint64(st.Updates))
+			printDocBenchSummary(agg, tracker)
+		}
 		fmt.Println(shardedSummary(stats))
 		if *jsonOut != "" {
 			result.fillCommon(synthCfg, se.Config().Engine.WithDefaults(), *shards, *batch)
@@ -243,6 +340,10 @@ func cmdBench(args []string) error {
 			for _, load := range stats.Loads {
 				result.PerShardBusyNs = append(result.PerShardBusyNs, load.Busy.Nanoseconds())
 			}
+			if tracker != nil {
+				result.DocPipeline = newDocPipelineResult(*docStories, *docStorySize, agg.Config(), agg.Stats(), tracker)
+				result.Workload.NegativeFraction, result.Workload.MeanDelta = 0, 0
+			}
 			return result.writeJSON(*jsonOut)
 		}
 		return nil
@@ -252,8 +353,12 @@ func cmdBench(args []string) error {
 	if err != nil {
 		return err
 	}
+	engSink := core.EventSink(sink)
+	if tracker != nil {
+		engSink = core.MultiSink{sink, tracker}
+	}
 	mem := takeMemSnapshot()
-	st, err := stream.NewReplay(src, eng, sink).Run(*batch)
+	st, err := stream.NewReplay(src, eng, engSink).Run(*batch)
 	if err != nil {
 		return err
 	}
@@ -262,6 +367,10 @@ func cmdBench(args []string) error {
 	fmt.Println(st)
 	fmt.Printf("sink:   became=%d ceased=%d (net output-dense=%d)\n",
 		sink.Became, sink.Ceased, eng.OutputDenseCount())
+	if tracker != nil {
+		tracker.Close(uint64(st.Updates))
+		printDocBenchSummary(agg, tracker)
+	}
 	fmt.Println(engineSummary(eng))
 	if *jsonOut != "" {
 		result.fillCommon(synthCfg, eng.Config(), 0, *batch)
@@ -271,7 +380,19 @@ func cmdBench(args []string) error {
 		result.Events.Became = sink.Became
 		result.Events.Ceased = sink.Ceased
 		result.Events.NetOutputDense = eng.OutputDenseCount()
+		if tracker != nil {
+			result.DocPipeline = newDocPipelineResult(*docStories, *docStorySize, agg.Config(), agg.Stats(), tracker)
+			result.Workload.NegativeFraction, result.Workload.MeanDelta = 0, 0
+		}
 		return result.writeJSON(*jsonOut)
 	}
 	return nil
+}
+
+// printDocBenchSummary prints the -docs mode aggregation and story counters.
+func printDocBenchSummary(agg *stream.Aggregator, tracker *story.Tracker) {
+	fmt.Println(agg.Stats())
+	st := tracker.Stats()
+	fmt.Printf("story:  born=%d split=%d updated=%d merged=%d died=%d | live=%d fading=%d\n",
+		st.Born, st.Split, st.Updated, st.Merged, st.Died, st.Live, st.Fading)
 }

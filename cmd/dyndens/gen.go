@@ -9,11 +9,13 @@ import (
 )
 
 // cmdGen generates a seeded synthetic update stream in the edge-list format
-// `a b delta` that `dyndens run` (and stream.FileSource) reads back.
+// `a b delta` that `dyndens run` (and stream.FileSource) reads back. An -out
+// path ending in .gz is written gzip-compressed; the readers decompress
+// transparently.
 func cmdGen(args []string) error {
 	fs := flag.NewFlagSet("dyndens gen", flag.ExitOnError)
 	newSynth := synthFlags(fs)
-	out := fs.String("out", "-", "output path (- for stdout)")
+	out := fs.String("out", "-", "output path (- for stdout, .gz compresses)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -31,30 +33,24 @@ func cmdGen(args []string) error {
 		return err
 	}
 
-	w := os.Stdout
-	var f *os.File
-	if *out != "-" {
-		f, err = os.Create(*out)
-		if err != nil {
-			return err
-		}
-		defer f.Close() // cleanup on error paths; success path closes explicitly
-		w = f
+	w, closeOut, err := createOutput(*out)
+	if err != nil {
+		return err
 	}
 	if _, err := fmt.Fprintf(w, "# dyndens gen -vertices %d -updates %d -seed %d -skew %g -neg %g -mean %g\n",
 		cfg.Vertices, cfg.Updates, cfg.Seed, cfg.Skew, cfg.NegativeFraction, cfg.MeanDelta); err != nil {
+		closeOut()
 		return err
 	}
 	n, err := stream.WriteUpdates(w, all)
 	if err != nil {
+		closeOut()
 		return err
 	}
-	// A failed Close can lose buffered writes; report it rather than claim
-	// success over a truncated file.
-	if f != nil {
-		if err := f.Close(); err != nil {
-			return err
-		}
+	// A failed close can lose buffered or compressed trailing bytes; report
+	// it rather than claim success over a truncated file.
+	if err := closeOut(); err != nil {
+		return err
 	}
 	fmt.Fprintf(os.Stderr, "wrote %d updates to %s\n", n, *out)
 	return nil

@@ -5,16 +5,21 @@
 //
 // Subcommands:
 //
-//	gen    generate a seeded synthetic update stream as an edge-list file
-//	run    replay an update stream from a file or stdin, printing events
-//	bench  replay a synthetic stream end-to-end and print a perf summary
+//	gen      generate a seeded synthetic update stream as an edge-list file
+//	run      replay an update stream from a file or stdin, printing events
+//	bench    replay a synthetic stream end-to-end and print a perf summary
+//	stories  the document pipeline: generate document streams (gen-docs) and
+//	         run documents → co-occurrence updates → engine → story tracker,
+//	         printing the story lifecycle log and the final story table (run)
 //
 // Run `dyndens <subcommand> -h` for the flags of each subcommand.
 package main
 
 import (
+	"compress/gzip"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -37,6 +42,8 @@ func main() {
 		err = cmdRun(os.Args[2:])
 	case "bench":
 		err = cmdBench(os.Args[2:])
+	case "stories":
+		err = cmdStories(os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -54,19 +61,23 @@ func usage() {
 	fmt.Fprint(os.Stderr, `usage: dyndens <subcommand> [flags]
 
 subcommands:
-  gen    generate a seeded synthetic update stream (edge-list format)
-  run    replay an update stream from a file or stdin, printing events
-  bench  replay a synthetic stream end-to-end and print a perf summary
+  gen      generate a seeded synthetic update stream (edge-list format)
+  run      replay an update stream from a file or stdin, printing events
+  bench    replay a synthetic stream end-to-end and print a perf summary
+  stories  document pipeline: gen-docs / run (documents in, stories out)
 `)
 }
 
-// engineFlags registers the engine configuration flags shared by run and
-// bench and returns a constructor that builds the configuration after
-// parsing. The configuration feeds either a single core.Engine or the
-// per-worker engines of a sharded deployment (-shards).
-func engineFlags(fs *flag.FlagSet) func() (core.Config, error) {
-	t := fs.Float64("T", 3, "output-density threshold T")
-	nmax := fs.Int("nmax", 5, "maximum subgraph cardinality Nmax")
+// engineFlags registers the engine configuration flags shared by run, bench
+// and stories and returns a constructor that builds the configuration after
+// parsing. defT and defNmax are the per-subcommand defaults (the story
+// pipeline wants a threshold matched to document co-occurrence weights, the
+// raw update commands the historical T=3/Nmax=5). The configuration feeds
+// either a single core.Engine or the per-worker engines of a sharded
+// deployment (-shards).
+func engineFlags(fs *flag.FlagSet, defT float64, defNmax int) func() (core.Config, error) {
+	t := fs.Float64("T", defT, "output-density threshold T")
+	nmax := fs.Int("nmax", defNmax, "maximum subgraph cardinality Nmax")
 	deltaItFrac := fs.Float64("deltait-frac", 0.01, "δ_it as a fraction of its maximum valid value")
 	measure := fs.String("measure", "avgweight", "density measure: avgweight, avgdegree, or sqrt")
 	maxExplore := fs.Bool("maxexplore", true, "enable the MaxExplore heuristic (Section 7.1)")
@@ -127,6 +138,32 @@ func measureByName(name string) (density.Measure, error) {
 	default:
 		return nil, fmt.Errorf("unknown measure %q (want avgweight, avgdegree, or sqrt)", name)
 	}
+}
+
+// createOutput opens the destination for a generated stream: stdout for "-",
+// a plain file otherwise, gzip-compressed when the path ends in ".gz" (the
+// sources sniff the magic number, so compressed streams read back with no
+// flag). close must be called on success; it reports flush/close errors that
+// would otherwise silently truncate the file.
+func createOutput(path string) (w io.Writer, close func() error, err error) {
+	if path == "-" {
+		return os.Stdout, func() error { return nil }, nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	if !strings.HasSuffix(path, ".gz") {
+		return f, f.Close, nil
+	}
+	zw := gzip.NewWriter(f)
+	return zw, func() error {
+		if err := zw.Close(); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}, nil
 }
 
 // engineSummary formats the engine-side work counters for the end-of-run

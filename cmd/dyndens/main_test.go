@@ -193,6 +193,148 @@ func TestBenchCommandSmoke(t *testing.T) {
 	}
 }
 
+// TestGoldenStoriesGenDocs pins the seeded document generator's recorded
+// format: same flags, same bytes.
+func TestGoldenStoriesGenDocs(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "docs.docs")
+	if err := cmdStoriesGenDocs([]string{"-out", out}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "docs_small.docs")
+	if *updateGolden {
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create the golden)", err)
+	}
+	if !bytes.Equal(want, got) {
+		t.Errorf("generated document stream differs from %s (regenerate with -update if intentional)", golden)
+	}
+}
+
+// TestGoldenStoriesRun pins the documents→stories pipeline end to end: the
+// lifecycle log, story table, aggregation counters and engine summary over
+// the golden document stream. The record lines are fully deterministic
+// (sequence-labelled, canonical resolution order), so unlike run's event
+// lines they are compared in order.
+func TestGoldenStoriesRun(t *testing.T) {
+	out := captureStdout(t, func() error {
+		return cmdStoriesRun([]string{"-input", filepath.Join("testdata", "docs_small.docs")})
+	})
+	compareGolden(t, filepath.Join("testdata", "stories_small.golden"), normalizeRunOutput(out))
+}
+
+// storyLifecycleLines extracts the deterministic story-pipeline lines: the
+// lifecycle log, the aggregation summary, and the story table.
+func storyLifecycleLines(out string) []string {
+	var lines []string
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "[seq ") || strings.HasPrefix(line, "aggregate{") ||
+			strings.HasPrefix(line, "stories:") || strings.HasPrefix(line, "story ") {
+			lines = append(lines, line)
+		}
+	}
+	return lines
+}
+
+// TestStoriesShardedLifecycleParity is the CLI form of the acceptance
+// criterion: `stories run` over the same document stream must print the
+// identical lifecycle log and final story table single-threaded, at K=1 and
+// at K=4.
+func TestStoriesShardedLifecycleParity(t *testing.T) {
+	input := filepath.Join("testdata", "docs_small.docs")
+	run := func(shards string) []string {
+		out := captureStdout(t, func() error {
+			return cmdStoriesRun([]string{"-input", input, "-shards", shards})
+		})
+		return storyLifecycleLines(out)
+	}
+	ref := run("0")
+	if len(ref) == 0 {
+		t.Fatal("single-threaded stories run produced no lifecycle output")
+	}
+	born := false
+	for _, line := range ref {
+		if strings.Contains(line, "born") {
+			born = true
+		}
+	}
+	if !born {
+		t.Fatal("lifecycle log contains no born record; fixture too weak")
+	}
+	for _, shards := range []string{"1", "4"} {
+		got := run(shards)
+		if strings.Join(got, "\n") != strings.Join(ref, "\n") {
+			t.Errorf("lifecycle output differs between single and -shards %s:\n--- single ---\n%s\n--- sharded ---\n%s",
+				shards, strings.Join(ref, "\n"), strings.Join(got, "\n"))
+		}
+	}
+}
+
+// TestStoriesRunSynthMatchesFileInput checks that -synth with the golden
+// flags reproduces the committed document stream's lifecycle output (the
+// file is itself a gen-docs capture of the default configuration).
+func TestStoriesRunSynthMatchesFileInput(t *testing.T) {
+	fromFile := captureStdout(t, func() error {
+		return cmdStoriesRun([]string{"-input", filepath.Join("testdata", "docs_small.docs"), "-quiet"})
+	})
+	fromSynth := captureStdout(t, func() error {
+		return cmdStoriesRun([]string{"-synth", "-quiet"})
+	})
+	a, b := storyLifecycleLines(fromFile), storyLifecycleLines(fromSynth)
+	if strings.Join(a, "\n") != strings.Join(b, "\n") {
+		t.Errorf("file and -synth disagree:\n--- file ---\n%s\n--- synth ---\n%s",
+			strings.Join(a, "\n"), strings.Join(b, "\n"))
+	}
+}
+
+// TestStoriesGenDocsGzipRoundTrip checks the .gz write path feeds back into
+// the pipeline transparently.
+func TestStoriesGenDocsGzipRoundTrip(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "docs.gz")
+	if err := cmdStoriesGenDocs([]string{"-docs", "80", "-out", out}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) < 2 || data[0] != 0x1f || data[1] != 0x8b {
+		t.Fatalf("output is not gzip-framed: % x", data[:2])
+	}
+	outText := captureStdout(t, func() error {
+		return cmdStoriesRun([]string{"-input", out, "-quiet"})
+	})
+	if !strings.Contains(outText, "aggregate{docs=80") {
+		t.Errorf("gzip document stream did not replay: %s", outText)
+	}
+}
+
+// TestBenchDocsMode smoke-tests the document→story pipeline bench for both
+// engine paths.
+func TestBenchDocsMode(t *testing.T) {
+	for _, shards := range []string{"0", "4"} {
+		out := captureStdout(t, func() error {
+			return cmdBench([]string{"-docs", "-vertices", "30", "-updates", "600", "-seed", "7",
+				"-skew", "1.1", "-T", "6.5", "-nmax", "4", "-shards", shards})
+		})
+		if !strings.Contains(out, "aggregate{docs=600") {
+			t.Errorf("shards=%s: missing aggregation summary:\n%s", shards, out)
+		}
+		if !strings.Contains(out, "story:  born=") {
+			t.Errorf("shards=%s: missing story summary:\n%s", shards, out)
+		}
+	}
+}
+
 // TestGenRejectsBadFlags pins gen's validation behaviour.
 func TestGenRejectsBadFlags(t *testing.T) {
 	if err := cmdGen([]string{"-updates", "0"}); err == nil {

@@ -25,7 +25,7 @@ func cmdRun(args []string) error {
 	quiet := fs.Bool("quiet", false, "suppress per-event output, print only the summary")
 	minCard := fs.Int("min-card", 0, "only report subgraphs with at least this many vertices")
 	watch := fs.String("watch", "", "comma-separated vertex watchlist; only report subgraphs containing one")
-	newEngineCfg := engineFlags(fs)
+	newEngineCfg := engineFlags(fs, 3, 5)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}

@@ -174,6 +174,9 @@ type Engine struct {
 	// cloneSets records whether cur retains Event.Set beyond Emit (see
 	// SetRetainer); only then does emit clone the set out of engine scratch.
 	cloneSets bool
+	// boundary is sink's UpdateBoundarySink capability, cached at SetSink so
+	// the per-update dispatch is a nil check rather than a type assertion.
+	boundary UpdateBoundarySink
 
 	// Per-update scratch state (valid during Process only).
 	a, b        Vertex
@@ -277,8 +280,13 @@ func (e *Engine) Stats() Stats {
 // uninstalls the sink and restores the slice-returning behaviour.
 //
 // The sink is invoked synchronously on the processing goroutine and must not
-// call back into the engine; see EventSink for the full contract.
-func (e *Engine) SetSink(s EventSink) { e.sink = s }
+// call back into the engine; see EventSink for the full contract. If the sink
+// implements UpdateBoundarySink it is additionally told where each update
+// ends (once per Process call, no-ops included, and once per SetThreshold).
+func (e *Engine) SetSink(s EventSink) {
+	e.sink = s
+	e.boundary, _ = s.(UpdateBoundarySink)
+}
 
 // Sink returns the currently installed sink (nil in slice-returning mode).
 func (e *Engine) Sink() EventSink { return e.sink }
@@ -299,9 +307,20 @@ func (e *Engine) beginEmit() {
 func (e *Engine) finishEmit() []Event {
 	e.cur = nil
 	if e.sink != nil {
+		e.endUpdate()
 		return nil
 	}
 	return e.collector.Take()
+}
+
+// endUpdate tells a boundary-aware sink that the current update is complete.
+// The no-op return paths of ProcessRouted call it directly so that every
+// Process call — event-producing or not — advances the sink's update
+// sequence, keeping it aligned with a sharded merger's sequence numbers.
+func (e *Engine) endUpdate() {
+	if e.boundary != nil {
+		e.boundary.EndUpdate()
+	}
 }
 
 // Process applies one edge-weight update. In the default slice-returning mode
@@ -322,12 +341,14 @@ func (e *Engine) Process(u Update) []Event { return e.ProcessRouted(u, true) }
 func (e *Engine) ProcessRouted(u Update, seedPairs bool) []Event {
 	e.stats.Updates++
 	if u.A == u.B || u.Delta == 0 {
+		e.endUpdate()
 		return nil
 	}
 	e.seedPairs = seedPairs
 	before, after := e.g.Apply(u)
 	applied := after - before // Delta clamped if the weight would go negative
 	if applied == 0 {
+		e.endUpdate()
 		return nil
 	}
 	e.a, e.b, e.delta = u.A, u.B, applied

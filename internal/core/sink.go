@@ -26,6 +26,25 @@ type EventSink interface {
 	Emit(ev Event)
 }
 
+// UpdateBoundarySink is the optional capability by which a sink asks to be
+// told where one update ends and the next begins. The engine calls EndUpdate
+// exactly once per Process call — including no-op updates (A == B, zero or
+// fully clamped delta) that emit no events — and once per SetThreshold call,
+// after every event of that update has been emitted. Consumers that group
+// events by the update that produced them (the story-identity tracker in
+// internal/story is the canonical example) rely on this signal to know when a
+// per-update buffer is complete; counting every Process call keeps their
+// update sequence aligned with the sequence numbers a sharded deployment's
+// merge layer assigns.
+//
+// EndUpdate is invoked on the processing goroutine before Process returns and
+// is subject to the same restriction as Emit: it must not call back into the
+// engine.
+type UpdateBoundarySink interface {
+	// EndUpdate marks the end of one Process (or SetThreshold) call.
+	EndUpdate()
+}
+
 // SetRetainer is the optional capability by which a sink declares whether it
 // (or anything it forwards to) keeps a reference to Event.Set after Emit
 // returns. Sinks that do not implement it are assumed to retain, and the
@@ -156,6 +175,14 @@ func (f *FilterSink) RetainsSets() bool {
 	return f.Next != nil && SinkRetainsSets(f.Next)
 }
 
+// EndUpdate implements UpdateBoundarySink by forwarding the boundary to Next
+// when it wants one. The filter itself is stateless across updates.
+func (f *FilterSink) EndUpdate() {
+	if b, ok := f.Next.(UpdateBoundarySink); ok {
+		b.EndUpdate()
+	}
+}
+
 func (f *FilterSink) match(ev Event) bool {
 	if ev.Set.Len() < f.MinCardinality {
 		return false
@@ -186,6 +213,16 @@ type MultiSink []EventSink
 func (m MultiSink) Emit(ev Event) {
 	for _, s := range m {
 		s.Emit(ev)
+	}
+}
+
+// EndUpdate implements UpdateBoundarySink by forwarding the boundary to every
+// member that wants one.
+func (m MultiSink) EndUpdate() {
+	for _, s := range m {
+		if b, ok := s.(UpdateBoundarySink); ok {
+			b.EndUpdate()
+		}
 	}
 }
 

@@ -163,6 +163,80 @@ func TestSetSinkNilRestoresSliceMode(t *testing.T) {
 	}
 }
 
+// boundarySink records events and the update boundaries separating them.
+type boundarySink struct {
+	CollectorSink
+	boundaries   int
+	eventsByTurn [][]Event // events grouped by the update that produced them
+	pending      []Event
+}
+
+func (b *boundarySink) Emit(ev Event) {
+	b.CollectorSink.Emit(ev)
+	b.pending = append(b.pending, ev)
+}
+
+func (b *boundarySink) EndUpdate() {
+	b.boundaries++
+	b.eventsByTurn = append(b.eventsByTurn, b.pending)
+	b.pending = nil
+}
+
+// TestUpdateBoundaryPerProcess pins the UpdateBoundarySink contract: exactly
+// one EndUpdate per Process call, no-ops included, with the update's events
+// emitted before the boundary.
+func TestUpdateBoundaryPerProcess(t *testing.T) {
+	e := MustNew(Config{T: 3, Nmax: 4})
+	sink := &boundarySink{}
+	e.SetSink(sink)
+	updates := []Update{
+		{A: 1, B: 2, Delta: 4},  // became
+		{A: 1, B: 1, Delta: 2},  // no-op: self loop
+		{A: 3, B: 4, Delta: 0},  // no-op: zero delta
+		{A: 5, B: 6, Delta: -1}, // no-op: clamped to zero on a missing edge
+		{A: 1, B: 2, Delta: -2}, // ceased
+	}
+	for _, u := range updates {
+		e.Process(u)
+	}
+	if sink.boundaries != len(updates) {
+		t.Fatalf("saw %d boundaries for %d Process calls", sink.boundaries, len(updates))
+	}
+	perTurn := make([]int, len(sink.eventsByTurn))
+	for i, evs := range sink.eventsByTurn {
+		perTurn[i] = len(evs)
+	}
+	want := []int{1, 0, 0, 0, 1}
+	for i := range want {
+		if perTurn[i] != want[i] {
+			t.Fatalf("events per update = %v, want %v", perTurn, want)
+		}
+	}
+	if sink.eventsByTurn[0][0].Kind != BecameOutputDense || sink.eventsByTurn[4][0].Kind != CeasedOutputDense {
+		t.Fatalf("boundary grouping misattributed events: %+v", sink.eventsByTurn)
+	}
+}
+
+// TestUpdateBoundaryThroughWrappers verifies MultiSink and FilterSink forward
+// EndUpdate to boundary-aware members, and that SetThreshold counts as one
+// boundary.
+func TestUpdateBoundaryThroughWrappers(t *testing.T) {
+	e := MustNew(Config{T: 3, Nmax: 4})
+	inner := &boundarySink{}
+	var counter CountingSink
+	e.SetSink(MultiSink{&counter, &FilterSink{Next: inner}})
+	e.Process(Update{A: 1, B: 2, Delta: 4})
+	if _, err := e.SetThreshold(5); err != nil {
+		t.Fatal(err)
+	}
+	if inner.boundaries != 2 {
+		t.Fatalf("wrapped sink saw %d boundaries, want 2 (one Process + one SetThreshold)", inner.boundaries)
+	}
+	if len(inner.eventsByTurn[0]) != 1 || len(inner.eventsByTurn[1]) != 1 {
+		t.Fatalf("events per boundary = %d/%d, want 1/1", len(inner.eventsByTurn[0]), len(inner.eventsByTurn[1]))
+	}
+}
+
 // TestSetThresholdThroughSink verifies the dynamic threshold procedure also
 // routes through the sink.
 func TestSetThresholdThroughSink(t *testing.T) {

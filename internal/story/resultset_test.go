@@ -1,0 +1,97 @@
+package story
+
+import (
+	"slices"
+	"testing"
+
+	"dyndens/internal/core"
+	"dyndens/internal/shard"
+	"dyndens/internal/stream"
+)
+
+// These tests formalise the incremental result-set maintenance contract the
+// story layer is built on: a consumer that does nothing but apply sink
+// events to a key set holds, after EVERY update, exactly the engine's
+// explicitly indexed output-dense set — for the single engine and for the
+// merged stream of a sharded deployment alike. The crossval suite in
+// internal/stream checks the same property at oracle checkpoints; here it is
+// pinned update-for-update through the exported consumer.
+
+// contractStream is a small, churny update stream: enough negative updates
+// that subgraphs both enter and leave the result set repeatedly.
+func contractStream(t *testing.T, seed int64) []stream.Update {
+	t.Helper()
+	updates, err := stream.Drain(stream.MustSynthetic(stream.SynthConfig{
+		Vertices:         10,
+		Updates:          300,
+		Seed:             seed,
+		NegativeFraction: 0.35,
+		MeanDelta:        1.5,
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return updates
+}
+
+func TestResultSetMatchesEngineAfterEveryUpdate(t *testing.T) {
+	for seed := int64(31); seed <= 33; seed++ {
+		updates := contractStream(t, seed)
+		eng := core.MustNew(core.Config{T: 2, Nmax: 4})
+		rs := NewResultSet()
+		eng.SetSink(rs)
+		transitions := 0
+		for i, u := range updates {
+			before := rs.Len()
+			eng.Process(u)
+			if rs.Len() != before {
+				transitions++
+			}
+			got, want := rs.Keys(), eng.OutputDenseKeys()
+			if !slices.Equal(got, want) {
+				t.Fatalf("seed %d, update %d: event-maintained set %v != engine %v", seed, i+1, got, want)
+			}
+		}
+		if transitions == 0 {
+			t.Fatalf("seed %d: result set never changed; contract exercised nothing", seed)
+		}
+	}
+}
+
+func TestResultSetMatchesShardedEngineAfterEveryUpdate(t *testing.T) {
+	for _, k := range []int{1, 4} {
+		updates := contractStream(t, 37)
+		se := shard.MustNew(shard.Config{Shards: k, Engine: core.Config{T: 2, Nmax: 4}})
+		rs := NewResultSet()
+		se.SetSink(rs)
+		nonEmpty := 0
+		for i, u := range updates {
+			se.Process(u)
+			se.Flush() // barrier: all events for this update are merged
+			got, want := rs.Keys(), se.OutputDenseKeys()
+			if !slices.Equal(got, want) {
+				t.Fatalf("K=%d, update %d: event-maintained set %v != merged result set %v", k, i+1, got, want)
+			}
+			if len(got) > 0 {
+				nonEmpty++
+			}
+		}
+		if nonEmpty == 0 {
+			t.Fatalf("K=%d: result set never became non-empty", k)
+		}
+		se.Close()
+	}
+}
+
+// TestResultSetContains covers the point queries the story CLI uses.
+func TestResultSetContains(t *testing.T) {
+	rs := NewResultSet()
+	rs.Apply(became(1, 2, 3))
+	if !rs.Contains("1,2,3") || rs.Contains("1,2") || rs.Len() != 1 {
+		t.Fatalf("unexpected state: keys=%v", rs.Keys())
+	}
+	rs.Apply(ceased(1, 2, 3))
+	if rs.Contains("1,2,3") || rs.Len() != 0 {
+		t.Fatalf("ceased did not remove: keys=%v", rs.Keys())
+	}
+}

@@ -1,0 +1,270 @@
+package story
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"dyndens/internal/core"
+	"dyndens/internal/vset"
+)
+
+// turn pushes one update's events through the tracker in Emit mode.
+func turn(t *Tracker, evs ...core.Event) {
+	for _, ev := range evs {
+		t.Emit(ev)
+	}
+	t.EndUpdate()
+}
+
+func became(vs ...vset.Vertex) core.Event {
+	return core.Event{Kind: core.BecameOutputDense, Set: vset.New(vs...)}
+}
+
+func ceased(vs ...vset.Vertex) core.Event {
+	return core.Event{Kind: core.CeasedOutputDense, Set: vset.New(vs...)}
+}
+
+// kinds extracts the record kinds in order.
+func kinds(records []Record) []LifecycleKind {
+	out := make([]LifecycleKind, len(records))
+	for i, r := range records {
+		out[i] = r.Kind
+	}
+	return out
+}
+
+func TestTrackerBornAndUpdated(t *testing.T) {
+	tr := MustTracker(Config{})
+	turn(tr, became(1, 2, 3))
+	turn(tr, became(1, 2, 3, 4)) // Jaccard 3/4 → same story, grown
+	turn(tr)                     // event-free update advances the clock only
+
+	recs := tr.Records()
+	if len(recs) != 2 || recs[0].Kind != Born || recs[1].Kind != Updated {
+		t.Fatalf("records = %v", recs)
+	}
+	if recs[0].Story != 1 || recs[1].Story != 1 {
+		t.Fatalf("story IDs = %d, %d; want 1, 1", recs[0].Story, recs[1].Story)
+	}
+	if recs[0].Seq != 1 || recs[1].Seq != 2 {
+		t.Fatalf("record seqs = %d, %d; want 1, 2", recs[0].Seq, recs[1].Seq)
+	}
+	if !recs[1].Entities.Equal(vset.New(1, 2, 3, 4)) {
+		t.Fatalf("updated entities = %v", recs[1].Entities)
+	}
+	stories := tr.Stories()
+	if len(stories) != 1 || stories[0].Subgraphs != 2 || stories[0].Fading {
+		t.Fatalf("table = %+v", stories)
+	}
+	if tr.Seq() != 3 {
+		t.Fatalf("Seq = %d, want 3", tr.Seq())
+	}
+}
+
+func TestTrackerShrinkEmitsUpdated(t *testing.T) {
+	tr := MustTracker(Config{})
+	turn(tr, became(1, 2, 3), became(1, 2, 3, 4))
+	turn(tr, ceased(1, 2, 3, 4)) // story keeps subgraph {1,2,3}; entities shrink
+	recs := tr.Records()
+	last := recs[len(recs)-1]
+	if last.Kind != Updated || !last.Entities.Equal(vset.New(1, 2, 3)) {
+		t.Fatalf("records = %v", recs)
+	}
+	if got := tr.Stories(); len(got) != 1 || got[0].Fading || got[0].Subgraphs != 1 {
+		t.Fatalf("table = %+v", got)
+	}
+}
+
+// TestTrackerFadeReviveKeepsIdentity is the continuity property the layer
+// exists for: a story whose only subgraph ceases and is re-discovered within
+// the grace window keeps its ID, with no lifecycle noise for the blip.
+func TestTrackerFadeReviveKeepsIdentity(t *testing.T) {
+	tr := MustTracker(Config{Grace: 10})
+	turn(tr, became(1, 2, 3))
+	turn(tr, ceased(1, 2, 3)) // fade, no record
+	turn(tr)
+	turn(tr, became(1, 2, 3, 4)) // revived and grown within grace
+	recs := tr.Records()
+	if want := []LifecycleKind{Born, Updated}; !reflect.DeepEqual(kinds(recs), want) {
+		t.Fatalf("records = %v, want kinds %v", recs, want)
+	}
+	stories := tr.Stories()
+	if len(stories) != 1 || stories[0].ID != 1 || stories[0].Fading {
+		t.Fatalf("table = %+v", stories)
+	}
+	if !stories[0].Entities.Equal(vset.New(1, 2, 3, 4)) {
+		t.Fatalf("entities = %v", stories[0].Entities)
+	}
+}
+
+// TestTrackerDiesAfterGrace pins the logical expiry sequence: fade at s with
+// grace G dies at s+G+1 regardless of when the tracker notices.
+func TestTrackerDiesAfterGrace(t *testing.T) {
+	tr := MustTracker(Config{Grace: 2})
+	turn(tr, became(1, 2, 3)) // seq 1
+	turn(tr, ceased(1, 2, 3)) // seq 2: fade
+	turn(tr)                  // seq 3: still revivable
+	turn(tr)                  // seq 4: last revivable update
+	turn(tr)                  // seq 5: grace over → died
+	recs := tr.Records()
+	if len(recs) != 2 || recs[1].Kind != Died || recs[1].Seq != 5 {
+		t.Fatalf("records = %v", recs)
+	}
+	if !recs[1].Entities.Equal(vset.New(1, 2, 3)) {
+		t.Fatalf("died entities = %v", recs[1].Entities)
+	}
+	if len(tr.Stories()) != 0 {
+		t.Fatalf("table not empty: %+v", tr.Stories())
+	}
+
+	// Same history, but the tail is accounted for by Close instead of
+	// explicit event-free updates: identical records.
+	tr2 := MustTracker(Config{Grace: 2})
+	turn(tr2, became(1, 2, 3))
+	turn(tr2, ceased(1, 2, 3))
+	tr2.Close(5)
+	if !reflect.DeepEqual(tr2.Records(), recs) {
+		t.Fatalf("Close path records %v != explicit path %v", tr2.Records(), recs)
+	}
+}
+
+// TestTrackerRevivalAtGraceBoundary pins the window edges: a became at
+// fade+Grace revives, one update later the story is already dead.
+func TestTrackerRevivalAtGraceBoundary(t *testing.T) {
+	tr := MustTracker(Config{Grace: 2})
+	turn(tr, became(1, 2, 3)) // seq 1
+	turn(tr, ceased(1, 2, 3)) // seq 2: fade; revivable through seq 4
+	turn(tr)                  // seq 3
+	turn(tr, became(1, 2, 3)) // seq 4: revived
+	if got := tr.Stories(); len(got) != 1 || got[0].ID != 1 {
+		t.Fatalf("table = %+v", got)
+	}
+
+	tr = MustTracker(Config{Grace: 2})
+	turn(tr, became(1, 2, 3))
+	turn(tr, ceased(1, 2, 3))
+	turn(tr)
+	turn(tr)
+	turn(tr, became(1, 2, 3)) // seq 5: too late — new story
+	recs := tr.Records()
+	if want := []LifecycleKind{Born, Died, Born}; !reflect.DeepEqual(kinds(recs), want) {
+		t.Fatalf("records = %v, want kinds %v", recs, want)
+	}
+	if got := tr.Stories(); len(got) != 1 || got[0].ID != 2 {
+		t.Fatalf("table = %+v", got)
+	}
+}
+
+func TestTrackerMerge(t *testing.T) {
+	tr := MustTracker(Config{})
+	turn(tr, became(1, 2, 3))
+	turn(tr, became(10, 11, 12))
+	// A subgraph bridging both stories at Jaccard 3/6 = 0.5 each.
+	turn(tr, became(1, 2, 3, 10, 11, 12))
+	recs := tr.Records()
+	if want := []LifecycleKind{Born, Born, Merged, Updated}; !reflect.DeepEqual(kinds(recs), want) {
+		t.Fatalf("records = %v, want kinds %v", recs, want)
+	}
+	merged := recs[2]
+	if merged.Story != 2 || merged.Other != 1 {
+		t.Fatalf("merged record = %+v, want story 2 into 1", merged)
+	}
+	stories := tr.Stories()
+	if len(stories) != 1 || stories[0].ID != 1 || stories[0].Subgraphs != 3 {
+		t.Fatalf("table = %+v", stories)
+	}
+	if !stories[0].Entities.Equal(vset.New(1, 2, 3, 10, 11, 12)) {
+		t.Fatalf("entities = %v", stories[0].Entities)
+	}
+}
+
+func TestTrackerSplit(t *testing.T) {
+	tr := MustTracker(Config{Grace: 10})
+	turn(tr, became(1, 2, 3, 4, 5, 6))
+	turn(tr, ceased(1, 2, 3, 4, 5, 6)) // fade with snapshot {1..6}
+	turn(tr, became(1, 2, 3))          // revives story 1 (Jaccard 3/6 vs snapshot)
+	turn(tr, became(4, 5, 6))          // no current match; snapshot match → split
+	recs := tr.Records()
+	if want := []LifecycleKind{Born, Updated, Split}; !reflect.DeepEqual(kinds(recs), want) {
+		t.Fatalf("records = %v, want kinds %v", recs, want)
+	}
+	split := recs[2]
+	if split.Story != 2 || split.Other != 1 || !split.Entities.Equal(vset.New(4, 5, 6)) {
+		t.Fatalf("split record = %+v", split)
+	}
+	stories := tr.Stories()
+	if len(stories) != 2 || stories[0].ID != 1 || stories[1].ID != 2 {
+		t.Fatalf("table = %+v", stories)
+	}
+}
+
+func TestTrackerMinCardinality(t *testing.T) {
+	tr := MustTracker(Config{MinCardinality: 3})
+	turn(tr, became(1, 2))    // gated out
+	turn(tr, became(4, 5, 6)) // passes
+	turn(tr, ceased(1, 2))    // unknown key: ignored
+	if recs := tr.Records(); len(recs) != 1 || !recs[0].Entities.Equal(vset.New(4, 5, 6)) {
+		t.Fatalf("records = %v", recs)
+	}
+	if keys := tr.LiveKeys(); len(keys) != 1 || keys[0] != "4,5,6" {
+		t.Fatalf("live keys = %v", keys)
+	}
+}
+
+// TestTrackerCanonicalOrderWithinUpdate checks that the within-update
+// resolution order is the canonical one, not arrival order: two becameds
+// arriving in either order produce identical records.
+func TestTrackerCanonicalOrderWithinUpdate(t *testing.T) {
+	run := func(evs ...core.Event) []Record {
+		tr := MustTracker(Config{})
+		turn(tr, became(1, 2, 3, 4, 5, 6))
+		turn(tr, ceased(1, 2, 3, 4, 5, 6))
+		turn(tr, evs...)
+		return tr.Records()
+	}
+	a := run(became(1, 2, 3), became(4, 5, 6))
+	b := run(became(4, 5, 6), became(1, 2, 3))
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("arrival order changed the outcome:\n%v\nvs\n%v", a, b)
+	}
+	// Canonical order attaches {1,2,3} first (lower key), so it revives the
+	// story and {4,5,6} splits off — deterministically. The coalesced Updated
+	// record for the revived story trails the update's inline records.
+	if want := []LifecycleKind{Born, Split, Updated}; !reflect.DeepEqual(kinds(a), want) {
+		t.Fatalf("records = %v, want kinds %v", a, want)
+	}
+}
+
+func TestTrackerRecordSinkStreams(t *testing.T) {
+	tr := MustTracker(Config{})
+	var streamed []Record
+	tr.SetRecordSink(func(r Record) { streamed = append(streamed, r) })
+	turn(tr, became(1, 2, 3))
+	turn(tr, became(1, 2, 3, 4))
+	if !reflect.DeepEqual(streamed, tr.Records()) {
+		t.Fatalf("streamed %v != retained %v", streamed, tr.Records())
+	}
+}
+
+func TestTrackerValidation(t *testing.T) {
+	if _, err := NewTracker(Config{MinJaccard: 1.5}); err == nil {
+		t.Error("MinJaccard 1.5 accepted, want error")
+	}
+	if _, err := NewTracker(Config{MinJaccard: -0.1}); err == nil {
+		t.Error("MinJaccard -0.1 accepted, want error")
+	}
+}
+
+func TestLifecycleKindStrings(t *testing.T) {
+	for k, want := range map[LifecycleKind]string{
+		Born: "born", Updated: "updated", Merged: "merged", Split: "split", Died: "died",
+	} {
+		if got := k.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", k, got, want)
+		}
+	}
+	if got := fmt.Sprint(LifecycleKind(99)); got != "LifecycleKind(99)" {
+		t.Errorf("unknown kind prints %q", got)
+	}
+}

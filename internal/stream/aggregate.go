@@ -1,0 +1,250 @@
+package stream
+
+import (
+	"fmt"
+	"math"
+	"slices"
+
+	"dyndens/internal/graph"
+)
+
+// AggregatorConfig configures the document→update co-occurrence aggregation
+// (the paper's Section 2 pre-processing): each document contributes DocWeight
+// to the edge weight of every pair of entities it mentions, and all pair
+// weights fade multiplicatively once per epoch, so a pair's weight is the
+// decayed sum Σ DocWeight·Decay^(age in epochs) over the documents that
+// co-mentioned it.
+type AggregatorConfig struct {
+	// EpochLength is the fading period in document time units; must be ≥ 1.
+	// When a document's timestamp crosses into a later epoch, the decay for
+	// every elapsed epoch is applied (as negative edge-weight deltas) before
+	// the document's own co-occurrences are emitted.
+	EpochLength int64
+	// Decay is the multiplicative per-epoch fading factor in (0, 1]; 1 turns
+	// fading off. Defaults to 0.5.
+	Decay float64
+	// DocWeight is the weight one co-occurrence contributes; must be
+	// positive. Defaults to 1.
+	DocWeight float64
+	// PruneBelow retires pairs whose faded weight drops below this value: the
+	// remaining weight is cancelled with one final negative delta and the
+	// pair is dropped from the aggregation state, bounding memory by the set
+	// of recently co-mentioned pairs rather than all pairs ever seen.
+	// Defaults to 1e-3; a negative value disables pruning (every pair is
+	// tracked forever).
+	PruneBelow float64
+}
+
+func (c AggregatorConfig) withDefaults() AggregatorConfig {
+	if c.Decay == 0 {
+		c.Decay = 0.5
+	}
+	if c.DocWeight == 0 {
+		c.DocWeight = 1
+	}
+	switch {
+	case c.PruneBelow == 0:
+		c.PruneBelow = 1e-3
+	case c.PruneBelow < 0:
+		c.PruneBelow = 0
+	}
+	return c
+}
+
+// Validate reports configuration errors.
+func (c AggregatorConfig) Validate() error {
+	switch {
+	case c.EpochLength < 1:
+		return fmt.Errorf("stream: epoch length must be ≥ 1, got %d", c.EpochLength)
+	case c.Decay <= 0 || c.Decay > 1:
+		return fmt.Errorf("stream: decay %v outside (0, 1]", c.Decay)
+	case c.DocWeight <= 0 || math.IsInf(c.DocWeight, 0) || math.IsNaN(c.DocWeight):
+		return fmt.Errorf("stream: document weight %v must be positive and finite", c.DocWeight)
+	}
+	return nil
+}
+
+// AggregatorStats summarises the work an Aggregator has performed.
+type AggregatorStats struct {
+	Docs         int   // documents consumed
+	PairUpdates  int   // positive co-occurrence updates emitted
+	DecayUpdates int   // negative fading updates emitted
+	Retired      int   // pairs fully cancelled and dropped by PruneBelow
+	Epochs       int64 // fading epochs applied
+	TrackedPairs int   // pairs currently carrying weight
+}
+
+// String formats the one-line summary printed by the stories CLI.
+func (s AggregatorStats) String() string {
+	return fmt.Sprintf("aggregate{docs=%d pair-updates=%d decay-updates=%d retired=%d epochs=%d tracked-pairs=%d}",
+		s.Docs, s.PairUpdates, s.DecayUpdates, s.Retired, s.Epochs, s.TrackedPairs)
+}
+
+// pairKey packs an ordered vertex pair (a < b) into one comparable word.
+type pairKey uint64
+
+func makePairKey(a, b graph.Vertex) pairKey {
+	if a > b {
+		a, b = b, a
+	}
+	return pairKey(uint64(uint32(a))<<32 | uint64(uint32(b)))
+}
+
+func (k pairKey) vertices() (a, b graph.Vertex) {
+	return graph.Vertex(k >> 32), graph.Vertex(uint32(k))
+}
+
+// Aggregator converts a DocumentSource into the edge-weight UpdateSource the
+// engine consumes: it is the first stage of the documents→stories pipeline
+// and slots into the existing Replay/ShardReplay drivers unchanged.
+//
+// For every document it emits one positive update of DocWeight per entity
+// pair, and whenever the document time crosses an epoch boundary it first
+// emits the fading of every tracked pair as negative updates (weight·(Decay^k
+// − 1) for k elapsed epochs), retiring pairs that fall below PruneBelow. The
+// aggregator mirrors the exact weight the engine's graph holds for each pair
+// — the engine applies every delta the aggregator emits and nothing else —
+// so decayed weights never drift and the clamp-at-zero path is never hit.
+//
+// Emission order is deterministic: a document's pairs are emitted in sorted
+// order (documents carry sorted entity sets) and decay updates are emitted in
+// sorted pair order, so equal document streams produce equal update streams,
+// which is what makes the end-to-end story pipeline reproducible and
+// shard-count independent.
+type Aggregator struct {
+	cfg     AggregatorConfig
+	docs    DocumentSource
+	weights map[pairKey]float64
+
+	started  bool
+	epoch    int64 // current fading epoch (time / EpochLength)
+	lastTime int64
+
+	pending []Update
+	pos     int
+
+	stats    AggregatorStats
+	decayBuf []pairKey // reusable sorted-key scratch for epoch ticks
+}
+
+// NewAggregator wires docs through the co-occurrence aggregation. It returns
+// an error for invalid configurations.
+func NewAggregator(docs DocumentSource, cfg AggregatorConfig) (*Aggregator, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Aggregator{cfg: cfg, docs: docs, weights: make(map[pairKey]float64)}, nil
+}
+
+// MustAggregator is NewAggregator that panics on error; for tests and
+// benchmarks with known-good configurations.
+func MustAggregator(docs DocumentSource, cfg AggregatorConfig) *Aggregator {
+	a, err := NewAggregator(docs, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// Config returns the effective configuration (with defaults applied).
+func (g *Aggregator) Config() AggregatorConfig { return g.cfg }
+
+// Stats returns a snapshot of the work counters.
+func (g *Aggregator) Stats() AggregatorStats {
+	s := g.stats
+	s.TrackedPairs = len(g.weights)
+	return s
+}
+
+// Weight returns the aggregator's current faded weight for the pair {a, b}
+// (0 if untracked). After a full drain through an engine this equals the
+// engine graph's edge weight up to float rounding.
+func (g *Aggregator) Weight(a, b graph.Vertex) float64 {
+	return g.weights[makePairKey(a, b)]
+}
+
+// Next implements UpdateSource: it replays the queued deltas of the current
+// document (and any epoch tick that preceded it) and pulls the next document
+// when the queue runs dry.
+func (g *Aggregator) Next() (Update, error) {
+	for g.pos >= len(g.pending) {
+		if err := g.ingest(); err != nil {
+			return Update{}, err
+		}
+	}
+	u := g.pending[g.pos]
+	g.pos++
+	return u, nil
+}
+
+// ingest consumes one document, queueing its epoch-tick decay (if any) and
+// co-occurrence updates.
+func (g *Aggregator) ingest() (err error) {
+	doc, err := g.docs.Next()
+	if err != nil {
+		return err // io.EOF ends the update stream with the document stream
+	}
+	if g.started && doc.Time < g.lastTime {
+		return fmt.Errorf("stream: document time went backwards: %d after %d", doc.Time, g.lastTime)
+	}
+	g.pending = g.pending[:0]
+	g.pos = 0
+	g.stats.Docs++
+
+	epoch := doc.Time / g.cfg.EpochLength
+	if !g.started {
+		g.started = true
+		g.epoch = epoch
+	} else if epoch > g.epoch {
+		g.applyDecay(epoch - g.epoch)
+		g.epoch = epoch
+	}
+	g.lastTime = doc.Time
+
+	ents := doc.Entities
+	for i := 0; i < len(ents); i++ {
+		for j := i + 1; j < len(ents); j++ {
+			a, b := ents[i], ents[j]
+			g.weights[makePairKey(a, b)] += g.cfg.DocWeight
+			g.pending = append(g.pending, Update{A: a, B: b, Delta: g.cfg.DocWeight})
+			g.stats.PairUpdates++
+		}
+	}
+	return nil
+}
+
+// applyDecay fades every tracked pair by Decay^elapsed, queueing the negative
+// deltas in sorted pair order and retiring pairs below the prune threshold.
+func (g *Aggregator) applyDecay(elapsed int64) {
+	g.stats.Epochs += elapsed
+	factor := math.Pow(g.cfg.Decay, float64(elapsed))
+	if factor == 1 {
+		return
+	}
+	keys := g.decayBuf[:0]
+	for k := range g.weights {
+		keys = append(keys, k)
+	}
+	slices.Sort(keys)
+	g.decayBuf = keys
+	for _, k := range keys {
+		w := g.weights[k]
+		faded := w * factor
+		var delta float64
+		if faded < g.cfg.PruneBelow {
+			delta = -w
+			delete(g.weights, k)
+			g.stats.Retired++
+		} else {
+			delta = faded - w
+			g.weights[k] = faded
+		}
+		if delta == 0 {
+			continue
+		}
+		a, b := k.vertices()
+		g.pending = append(g.pending, Update{A: a, B: b, Delta: delta})
+		g.stats.DecayUpdates++
+	}
+}

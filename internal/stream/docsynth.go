@@ -1,0 +1,253 @@
+package stream
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"dyndens/internal/vset"
+)
+
+// DocSynthConfig configures the seeded synthetic document generator: a
+// stream of entity-mention documents with a small number of planted stories
+// (tight entity groups repeatedly co-mentioned over an activity window)
+// buried in Zipf-distributed background chatter. It is the document-level
+// counterpart of SynthConfig and the workload behind `dyndens stories`: a
+// correct documents→updates→engine→story pipeline must recover exactly the
+// planted groups as dense subgraphs while their stories are active.
+type DocSynthConfig struct {
+	// BackgroundEntities is the size of the background entity universe
+	// [0, BackgroundEntities); must be ≥ 2.
+	BackgroundEntities int
+	// Stories is the number of planted stories. Story s owns the dedicated
+	// entity range [BackgroundEntities + s·StorySize, BackgroundEntities +
+	// (s+1)·StorySize), disjoint from the background and from other stories,
+	// so recovery checks are unambiguous.
+	Stories int
+	// StorySize is the number of entities per planted story; must be ≥ 2 when
+	// Stories > 0.
+	StorySize int
+	// Docs is the number of documents to generate; must be ≥ 1.
+	Docs int
+	// Seed seeds the generator; equal configs with equal seeds produce
+	// identical streams.
+	Seed int64
+	// StoryFraction is the probability in [0, 1] that a document covers one
+	// of the currently active planted stories. Defaults to 0.5; a negative
+	// value requests probability 0.
+	StoryFraction float64
+	// StoryMentions is how many of a story's entities one story document
+	// mentions. Defaults to min(3, StorySize).
+	StoryMentions int
+	// BackgroundMentions is how many entities a background document mentions.
+	// Defaults to 3.
+	BackgroundMentions int
+	// BackgroundSkew is the Zipf exponent for background entity popularity;
+	// values ≤ 1 select uniformly. Defaults to 1.5.
+	BackgroundSkew float64
+	// NoiseMentionProb is the probability that a story document additionally
+	// mentions one background entity (bridging noise). Defaults to 0.25; a
+	// negative value requests probability 0.
+	NoiseMentionProb float64
+	// StoryLifetime is each story's activity window as a fraction of the
+	// stream in (0, 1]; windows are staggered evenly so stories are born and
+	// fade at different points. Defaults to 0.6.
+	StoryLifetime float64
+	// TimePerDoc is the timestamp increment per document (document i has
+	// Time = i·TimePerDoc). Defaults to 1; together with the Aggregator's
+	// EpochLength it determines how many documents fall into one fading
+	// epoch.
+	TimePerDoc int64
+}
+
+// withDefaults fills zero fields; a negative StoryFraction or
+// NoiseMentionProb explicitly requests probability 0 (the zero value means
+// "default").
+func (c DocSynthConfig) withDefaults() DocSynthConfig {
+	if c.StoryFraction == 0 {
+		c.StoryFraction = 0.5
+	} else if c.StoryFraction < 0 {
+		c.StoryFraction = 0
+	}
+	switch {
+	case c.NoiseMentionProb == 0:
+		c.NoiseMentionProb = 0.25
+	case c.NoiseMentionProb < 0:
+		c.NoiseMentionProb = 0
+	}
+	if c.StoryMentions == 0 {
+		c.StoryMentions = 3
+		if c.StorySize > 0 && c.StorySize < 3 {
+			c.StoryMentions = c.StorySize
+		}
+	}
+	if c.BackgroundMentions == 0 {
+		c.BackgroundMentions = 3
+	}
+	if c.BackgroundSkew == 0 {
+		c.BackgroundSkew = 1.5
+	}
+	if c.StoryLifetime == 0 {
+		c.StoryLifetime = 0.6
+	}
+	if c.TimePerDoc == 0 {
+		c.TimePerDoc = 1
+	}
+	return c
+}
+
+// Validate reports configuration errors.
+func (c DocSynthConfig) Validate() error {
+	switch {
+	case c.BackgroundEntities < 2:
+		return fmt.Errorf("stream: document generator needs ≥ 2 background entities, got %d", c.BackgroundEntities)
+	case c.Stories < 0:
+		return fmt.Errorf("stream: negative story count %d", c.Stories)
+	case c.Stories > 0 && c.StorySize < 2:
+		return fmt.Errorf("stream: planted stories need ≥ 2 entities, got %d", c.StorySize)
+	case c.Docs < 1:
+		return fmt.Errorf("stream: document count must be ≥ 1, got %d", c.Docs)
+	case c.StoryFraction < 0 || c.StoryFraction > 1:
+		return fmt.Errorf("stream: story fraction %v outside [0, 1]", c.StoryFraction)
+	case c.Stories > 0 && (c.StoryMentions < 2 || c.StoryMentions > c.StorySize):
+		return fmt.Errorf("stream: story mentions %d outside [2, %d]", c.StoryMentions, c.StorySize)
+	case c.BackgroundMentions < 2:
+		return fmt.Errorf("stream: background mentions %d < 2", c.BackgroundMentions)
+	case c.BackgroundMentions > c.BackgroundEntities:
+		return fmt.Errorf("stream: background mentions %d exceed universe %d", c.BackgroundMentions, c.BackgroundEntities)
+	case c.NoiseMentionProb < 0 || c.NoiseMentionProb > 1:
+		return fmt.Errorf("stream: noise mention probability %v outside [0, 1]", c.NoiseMentionProb)
+	case c.StoryLifetime <= 0 || c.StoryLifetime > 1:
+		return fmt.Errorf("stream: story lifetime %v outside (0, 1]", c.StoryLifetime)
+	case c.TimePerDoc < 1:
+		return fmt.Errorf("stream: time per document must be ≥ 1, got %d", c.TimePerDoc)
+	}
+	return nil
+}
+
+// PlantedStory is the ground truth for one planted story: its entity set and
+// the document-index window [Start, End) during which it is active.
+type PlantedStory struct {
+	Entities   vset.Set
+	Start, End int
+}
+
+// DocSynthetic generates a reproducible random document stream with planted
+// stories. It implements DocumentSource.
+type DocSynthetic struct {
+	cfg     DocSynthConfig
+	rng     *rand.Rand
+	zipf    *rand.Zipf
+	planted []PlantedStory
+	emitted int
+}
+
+// NewDocSynthetic builds a generator from cfg. It returns an error for
+// invalid configurations.
+func NewDocSynthetic(cfg DocSynthConfig) (*DocSynthetic, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	g := &DocSynthetic{cfg: cfg, rng: rng}
+	if cfg.BackgroundSkew > 1 {
+		g.zipf = rand.NewZipf(rng, cfg.BackgroundSkew, 1, uint64(cfg.BackgroundEntities-1))
+	}
+	g.plantStories()
+	return g, nil
+}
+
+// MustDocSynthetic is NewDocSynthetic that panics on error; for tests and
+// benchmarks with known-good configurations.
+func MustDocSynthetic(cfg DocSynthConfig) *DocSynthetic {
+	g, err := NewDocSynthetic(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// plantStories fixes each story's entity range and activity window. Windows
+// all have the same length (StoryLifetime · Docs, at least 1 document) and
+// their starts are spread evenly across the remaining stream, so consecutive
+// stories overlap in time but are born and fade at distinct points.
+func (g *DocSynthetic) plantStories() {
+	c := g.cfg
+	life := int(c.StoryLifetime * float64(c.Docs))
+	if life < 1 {
+		life = 1
+	}
+	for s := 0; s < c.Stories; s++ {
+		start := 0
+		if c.Stories > 1 {
+			start = s * (c.Docs - life) / (c.Stories - 1)
+		}
+		base := vset.Vertex(c.BackgroundEntities + s*c.StorySize)
+		entities := make([]vset.Vertex, c.StorySize)
+		for i := range entities {
+			entities[i] = base + vset.Vertex(i)
+		}
+		g.planted = append(g.planted, PlantedStory{
+			Entities: vset.FromSorted(entities),
+			Start:    start,
+			End:      start + life,
+		})
+	}
+}
+
+// PlantedStories returns the ground-truth planted stories (entity sets and
+// activity windows). The returned slice is shared; do not mutate it.
+func (g *DocSynthetic) PlantedStories() []PlantedStory { return g.planted }
+
+// Config returns the effective configuration (with defaults applied).
+func (g *DocSynthetic) Config() DocSynthConfig { return g.cfg }
+
+// Next implements DocumentSource.
+func (g *DocSynthetic) Next() (Document, error) {
+	if g.emitted >= g.cfg.Docs {
+		return Document{}, io.EOF
+	}
+	i := g.emitted
+	g.emitted++
+	doc := Document{Time: int64(i) * g.cfg.TimePerDoc}
+
+	// Story documents: a story is drawn first and falls back to background
+	// chatter when it is outside its activity window, so each story's
+	// document rate (StoryFraction/Stories while active) does not depend on
+	// how many other stories happen to be active — which is what keeps every
+	// story's co-occurrence weights in the same band for a fixed threshold.
+	if g.cfg.Stories > 0 && g.rng.Float64() < g.cfg.StoryFraction {
+		if p := g.planted[g.rng.Intn(g.cfg.Stories)]; p.Start <= i && i < p.End {
+			mentions := make([]vset.Vertex, 0, g.cfg.StoryMentions+1)
+			for _, j := range g.rng.Perm(len(p.Entities))[:g.cfg.StoryMentions] {
+				mentions = append(mentions, p.Entities[j])
+			}
+			if g.rng.Float64() < g.cfg.NoiseMentionProb {
+				mentions = append(mentions, g.pickBackground())
+			}
+			doc.Entities = vset.New(mentions...)
+			return doc, nil
+		}
+	}
+
+	mentions := make([]vset.Vertex, 0, g.cfg.BackgroundMentions)
+	seen := vset.Set(nil)
+	for len(mentions) < g.cfg.BackgroundMentions {
+		e := g.pickBackground()
+		if seen.Contains(e) {
+			continue
+		}
+		seen = seen.Add(e)
+		mentions = append(mentions, e)
+	}
+	doc.Entities = vset.New(mentions...)
+	return doc, nil
+}
+
+func (g *DocSynthetic) pickBackground() vset.Vertex {
+	if g.zipf != nil {
+		return vset.Vertex(g.zipf.Uint64())
+	}
+	return vset.Vertex(g.rng.Intn(g.cfg.BackgroundEntities))
+}

@@ -1,0 +1,167 @@
+package stream
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"dyndens/internal/vset"
+)
+
+// Document is one item of the input stream the paper's system actually
+// ingests (Section 2): a timestamped set of entity mentions extracted from a
+// news article, blog post, or tweet. The co-occurrence Aggregator turns the
+// entity pairs of each document into edge-weight updates for the engine.
+type Document struct {
+	// Time is the document's timestamp in abstract, non-negative time units
+	// (the Aggregator's epoch length is expressed in the same units). A
+	// document stream must be time-ordered: real feeds arrive in order, and
+	// the fading-weight schedule is only well defined over monotone time.
+	Time int64
+	// Entities is the deduplicated set of entities mentioned by the document.
+	// Documents with fewer than two entities contribute no co-occurrences but
+	// are legal (they still advance time).
+	Entities vset.Set
+}
+
+// DocumentSource produces a stream of documents. Like UpdateSource it is
+// pull-based and single-consumer; Next returns io.EOF when the stream is
+// exhausted.
+type DocumentSource interface {
+	Next() (Document, error)
+}
+
+// SliceDocSource replays a fixed slice of documents; the trivial source for
+// tests and in-memory callers.
+type SliceDocSource struct {
+	docs []Document
+	pos  int
+}
+
+// NewSliceDocSource returns a source that yields the given documents in order.
+func NewSliceDocSource(docs []Document) *SliceDocSource {
+	return &SliceDocSource{docs: docs}
+}
+
+// Next implements DocumentSource.
+func (s *SliceDocSource) Next() (Document, error) {
+	if s.pos >= len(s.docs) {
+		return Document{}, io.EOF
+	}
+	d := s.docs[s.pos]
+	s.pos++
+	return d, nil
+}
+
+// Rewind resets the source to the beginning of its slice.
+func (s *SliceDocSource) Rewind() { s.pos = 0 }
+
+// DrainDocs reads every remaining document from src into a slice; errors
+// other than io.EOF are returned with the documents read so far.
+func DrainDocs(src DocumentSource) ([]Document, error) {
+	var out []Document
+	for {
+		d, err := src.Next()
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				return out, nil
+			}
+			return out, err
+		}
+		out = append(out, d)
+	}
+}
+
+// DocFileSource reads documents from a text stream in the format
+// `time e1 e2 ... ek`, one document per line: a non-negative integer
+// timestamp followed by one or more entity identifiers. Blank lines and '#'
+// comments are skipped and gzip input is decompressed transparently, exactly
+// like FileSource. This is the recorded-document format written by
+// `dyndens stories gen-docs`.
+type DocFileSource struct {
+	ls *lineScanner
+}
+
+// NewDocReaderSource wraps an io.Reader in a DocFileSource. name is used in
+// error messages only.
+func NewDocReaderSource(name string, r io.Reader) *DocFileSource {
+	return &DocFileSource{ls: newLineScanner(name, r)}
+}
+
+// OpenDocFile opens path as a DocFileSource. The caller must Close it.
+func OpenDocFile(path string) (*DocFileSource, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	s := NewDocReaderSource(path, f)
+	s.ls.closer = f
+	return s, nil
+}
+
+// Next implements DocumentSource.
+func (s *DocFileSource) Next() (Document, error) {
+	text, line, err := s.ls.nextLine()
+	if err != nil {
+		return Document{}, err
+	}
+	d, err := ParseDocument(text)
+	if err != nil {
+		return Document{}, fmt.Errorf("%s:%d: %w", s.ls.name, line, err)
+	}
+	return d, nil
+}
+
+// Close releases the underlying file and gzip reader, if any.
+func (s *DocFileSource) Close() error { return s.ls.close() }
+
+// ParseDocument parses one `time e1 e2 ... ek` line. The timestamp must be a
+// non-negative integer (the fading schedule needs a well-founded epoch zero),
+// each entity must be a valid vertex in [0, MaxInt32), and duplicate mentions
+// collapse into the set.
+func ParseDocument(text string) (Document, error) {
+	fields := strings.Fields(text)
+	if len(fields) < 2 {
+		return Document{}, fmt.Errorf("stream: want `time e1 [e2 ...]`, got %d fields in %q", len(fields), text)
+	}
+	ts, err := strconv.ParseInt(fields[0], 10, 64)
+	if err != nil {
+		return Document{}, fmt.Errorf("stream: bad timestamp %q: %w", fields[0], err)
+	}
+	if ts < 0 {
+		return Document{}, fmt.Errorf("stream: negative timestamp %q", fields[0])
+	}
+	entities := make([]vset.Vertex, 0, len(fields)-1)
+	for _, f := range fields[1:] {
+		v, err := parseVertex(f)
+		if err != nil {
+			return Document{}, err
+		}
+		entities = append(entities, v)
+	}
+	return Document{Time: ts, Entities: vset.New(entities...)}, nil
+}
+
+// WriteDocuments writes documents to w in the format DocFileSource reads,
+// returning the number of documents written.
+func WriteDocuments(w io.Writer, docs []Document) (int, error) {
+	bw := bufio.NewWriter(w)
+	for i, d := range docs {
+		if _, err := fmt.Fprintf(bw, "%d", d.Time); err != nil {
+			return i, err
+		}
+		for _, e := range d.Entities {
+			if _, err := fmt.Fprintf(bw, " %d", e); err != nil {
+				return i, err
+			}
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return i, err
+		}
+	}
+	return len(docs), bw.Flush()
+}

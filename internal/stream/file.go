@@ -2,6 +2,7 @@ package stream
 
 import (
 	"bufio"
+	"compress/gzip"
 	"fmt"
 	"io"
 	"math"
@@ -12,24 +13,101 @@ import (
 	"dyndens/internal/graph"
 )
 
+// lineScanner is the shared line-oriented reader behind the recorded-stream
+// sources (FileSource for `a b delta` updates, DocFileSource for documents).
+// It skips blank lines and '#' comments, counts lines for error messages, and
+// transparently decompresses gzip input: the first two bytes are sniffed for
+// the gzip magic number, so `dyndens run -input updates.gz` needs no flag and
+// no filename convention. The sniff is lazy — it happens on the first line
+// read — which keeps the constructors infallible.
+type lineScanner struct {
+	name   string
+	raw    io.Reader
+	sc     *bufio.Scanner
+	gz     *gzip.Reader
+	closer io.Closer
+	line   int
+}
+
+// gzip magic number (RFC 1952).
+const gzipMagic0, gzipMagic1 = 0x1f, 0x8b
+
+func newLineScanner(name string, r io.Reader) *lineScanner {
+	return &lineScanner{name: name, raw: r}
+}
+
+// init sniffs the input for gzip framing and builds the scanner. It is called
+// on the first nextLine; a malformed gzip header fails here.
+func (ls *lineScanner) init() error {
+	br := bufio.NewReader(ls.raw)
+	var src io.Reader = br
+	if magic, err := br.Peek(2); err == nil && magic[0] == gzipMagic0 && magic[1] == gzipMagic1 {
+		zr, err := gzip.NewReader(br)
+		if err != nil {
+			return fmt.Errorf("%s: gzip: %w", ls.name, err)
+		}
+		ls.gz = zr
+		src = zr
+	}
+	sc := bufio.NewScanner(src)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	ls.sc = sc
+	return nil
+}
+
+// nextLine returns the next non-blank, non-comment line (trimmed) and its
+// 1-based line number. It returns io.EOF at end of input; read errors —
+// including corrupt gzip payloads — are wrapped with the source name.
+func (ls *lineScanner) nextLine() (string, int, error) {
+	if ls.sc == nil {
+		if err := ls.init(); err != nil {
+			return "", 0, err
+		}
+	}
+	for ls.sc.Scan() {
+		ls.line++
+		text := strings.TrimSpace(ls.sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		return text, ls.line, nil
+	}
+	if err := ls.sc.Err(); err != nil {
+		return "", 0, fmt.Errorf("%s: %w", ls.name, err)
+	}
+	return "", 0, io.EOF
+}
+
+// close releases the gzip reader (verifying its checksum trailer was intact
+// as far as it was read) and the underlying file, if any.
+func (ls *lineScanner) close() error {
+	var err error
+	if ls.gz != nil {
+		err = ls.gz.Close()
+	}
+	if ls.closer != nil {
+		if cerr := ls.closer.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
+
 // FileSource reads edge-weight updates from a text stream in the edge-list
 // format `a b delta`, one update per line: two vertex identifiers (integers)
 // and a weight delta (float), separated by whitespace. Blank lines and lines
 // starting with '#' are skipped, so generated files can carry a provenance
-// header. This is the recorded-stream format written by `dyndens gen`.
+// header, and gzip-compressed input is decompressed transparently (sniffed by
+// magic number, not filename). This is the recorded-stream format written by
+// `dyndens gen`.
 type FileSource struct {
-	name   string
-	sc     *bufio.Scanner
-	closer io.Closer
-	line   int
+	ls *lineScanner
 }
 
 // NewReaderSource wraps an io.Reader in a FileSource. name is used in error
 // messages only.
 func NewReaderSource(name string, r io.Reader) *FileSource {
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
-	return &FileSource{name: name, sc: sc}
+	return &FileSource{ls: newLineScanner(name, r)}
 }
 
 // OpenFile opens path as a FileSource. The caller must Close it.
@@ -39,37 +117,25 @@ func OpenFile(path string) (*FileSource, error) {
 		return nil, err
 	}
 	s := NewReaderSource(path, f)
-	s.closer = f
+	s.ls.closer = f
 	return s, nil
 }
 
 // Next implements UpdateSource.
 func (s *FileSource) Next() (Update, error) {
-	for s.sc.Scan() {
-		s.line++
-		text := strings.TrimSpace(s.sc.Text())
-		if text == "" || strings.HasPrefix(text, "#") {
-			continue
-		}
-		u, err := ParseUpdate(text)
-		if err != nil {
-			return Update{}, fmt.Errorf("%s:%d: %w", s.name, s.line, err)
-		}
-		return u, nil
+	text, line, err := s.ls.nextLine()
+	if err != nil {
+		return Update{}, err
 	}
-	if err := s.sc.Err(); err != nil {
-		return Update{}, fmt.Errorf("%s: %w", s.name, err)
+	u, err := ParseUpdate(text)
+	if err != nil {
+		return Update{}, fmt.Errorf("%s:%d: %w", s.ls.name, line, err)
 	}
-	return Update{}, io.EOF
+	return u, nil
 }
 
-// Close releases the underlying file, if any.
-func (s *FileSource) Close() error {
-	if s.closer == nil {
-		return nil
-	}
-	return s.closer.Close()
-}
+// Close releases the underlying file and gzip reader, if any.
+func (s *FileSource) Close() error { return s.ls.close() }
 
 // ParseUpdate parses one `a b delta` line. Vertices must be in [0, MaxInt32)
 // — the upper bound is exclusive because MaxInt32 is the index's reserved '*'

@@ -13,8 +13,10 @@ import (
 // well-formed (finite delta, vertices inside the index's valid range), and
 // accepted updates survive a write→parse round trip unchanged. The seeds
 // cover the interesting classes: valid lines, comments, malformed fields,
-// NaN/Inf and out-of-range values, duplicate edges, and pathological
-// whitespace.
+// NaN/Inf and out-of-range values, duplicate edges, pathological whitespace,
+// and — because the source transparently decompresses input that starts with
+// the gzip magic number — compressed payloads, bare magic bytes, and
+// truncated or corrupt archives.
 func FuzzFileSource(f *testing.F) {
 	seeds := []string{
 		"1 2 0.5\n2 3 -1.25\n",
@@ -40,6 +42,15 @@ func FuzzFileSource(f *testing.F) {
 	for _, s := range seeds {
 		f.Add([]byte(s))
 	}
+	// Gzip-framed seeds: the source sniffs the magic number and decompresses
+	// transparently, so the fuzzer must also explore compressed valid input,
+	// headers followed by garbage, and truncated archives.
+	f.Add(gzipBytes(f, "1 2 0.5\n2 3 -1.25\n"))
+	f.Add(gzipBytes(f, "# comment\n\n10 11 3\n"))
+	f.Add(gzipBytes(f, "1 2 NaN\n"))
+	f.Add([]byte{0x1f, 0x8b})
+	f.Add([]byte{0x1f, 0x8b, 0x08, 0x00, 0xde, 0xad, 0xbe, 0xef})
+	f.Add(gzipBytes(f, "1 2 0.5\n")[:8])
 	f.Fuzz(func(t *testing.T, data []byte) {
 		src := NewReaderSource("fuzz", strings.NewReader(string(data)))
 		var accepted []Update

@@ -1,8 +1,12 @@
 package stream
 
 import (
+	"bytes"
+	"compress/gzip"
 	"errors"
 	"io"
+	"os"
+	"path/filepath"
 	"slices"
 	"strings"
 	"testing"
@@ -49,6 +53,77 @@ func TestFileSourceReportsLineOnError(t *testing.T) {
 	_, err := src.Next()
 	if err == nil || !strings.Contains(err.Error(), "bad:2") {
 		t.Fatalf("error = %v, want one mentioning bad:2", err)
+	}
+}
+
+// gzipBytes compresses text with the default gzip settings.
+func gzipBytes(t testing.TB, text string) []byte {
+	t.Helper()
+	var b bytes.Buffer
+	zw := gzip.NewWriter(&b)
+	if _, err := zw.Write([]byte(text)); err != nil {
+		t.Fatal(err)
+	}
+	if err := zw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return b.Bytes()
+}
+
+// TestFileSourceGzipTransparent verifies gzip input is sniffed by magic
+// number and decompressed transparently, both from a reader and from a file.
+func TestFileSourceGzipTransparent(t *testing.T) {
+	plain := "# compressed stream\n1 2 0.5\n\n2 3 -1.25\n"
+	want := []Update{{A: 1, B: 2, Delta: 0.5}, {A: 2, B: 3, Delta: -1.25}}
+
+	src := NewReaderSource("gz", bytes.NewReader(gzipBytes(t, plain)))
+	got, err := Drain(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !slices.Equal(got, want) {
+		t.Fatalf("gzip reader: got %+v, want %+v", got, want)
+	}
+	if err := src.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	path := filepath.Join(t.TempDir(), "updates.gz")
+	if err := os.WriteFile(path, gzipBytes(t, plain), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fsrc, err := OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fsrc.Close()
+	got, err = Drain(fsrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !slices.Equal(got, want) {
+		t.Fatalf("gzip file: got %+v, want %+v", got, want)
+	}
+}
+
+// TestFileSourceGzipErrorsIdentifySource pins the failure modes of compressed
+// input: a gzip magic number followed by garbage must fail with an error that
+// names the source, not panic or be parsed as text.
+func TestFileSourceGzipErrorsIdentifySource(t *testing.T) {
+	for name, data := range map[string][]byte{
+		"bad-header":  {0x1f, 0x8b, 0xff, 0xff},
+		"truncated":   gzipBytes(t, "1 2 0.5\n")[:8],
+		"corrupt-crc": append(gzipBytes(t, "1 2 0.5\n")[:20], 0, 0, 0, 0),
+	} {
+		src := NewReaderSource("gzbad", bytes.NewReader(data))
+		_, err := Drain(src)
+		if err == nil || errors.Is(err, io.EOF) {
+			t.Errorf("%s: Drain accepted corrupt gzip input", name)
+			continue
+		}
+		if !strings.Contains(err.Error(), "gzbad") {
+			t.Errorf("%s: error %v does not identify the source", name, err)
+		}
 	}
 }
 
