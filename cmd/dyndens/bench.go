@@ -44,6 +44,11 @@ type benchResult struct {
 
 	Shards int `json:"shards"`
 	Batch  int `json:"batch"`
+	// Batched marks a run driven through Engine.ProcessBatch (epoch
+	// coalescing); Ticks is the number of logical engine boundaries (equal to
+	// the update count for sequential runs, the batch count for batched ones).
+	Batched bool `json:"batched,omitempty"`
+	Ticks   int  `json:"ticks,omitempty"`
 
 	// Throughput of the engine processing itself (source I/O excluded for the
 	// single-threaded path; wall-clock including merge for the sharded path).
@@ -83,6 +88,63 @@ type benchResult struct {
 	// DocPipeline is present for -docs runs: the document→story pipeline's
 	// aggregation and story-lifecycle counters.
 	DocPipeline *docPipelineResult `json:"doc_pipeline,omitempty"`
+
+	// BatchCompare is present for single-threaded -batch runs: the same
+	// workload replayed twice — per-update Process vs coalesced ProcessBatch
+	// over identical batch partitions — with the throughput split by batch
+	// provenance. DecaySpeedup is the headline epoch-coalescing gain: batched
+	// vs sequential upd/s on the epoch-decay-burst segment.
+	BatchCompare *batchCompareResult `json:"batch_compare,omitempty"`
+}
+
+// segmentResult is one provenance segment of a replay in the JSON output.
+type segmentResult struct {
+	Updates          int     `json:"updates"`
+	Batches          int     `json:"batches"`
+	ElapsedNs        int64   `json:"elapsed_ns"`
+	UpdatesPerSecond float64 `json:"updates_per_second"`
+}
+
+func newSegmentResult(s stream.SegmentStats) segmentResult {
+	return segmentResult{
+		Updates:          s.Updates,
+		Batches:          s.Batches,
+		ElapsedNs:        s.Elapsed.Nanoseconds(),
+		UpdatesPerSecond: s.UpdatesPerSecond(),
+	}
+}
+
+// modeResult is one replay mode (sequential or batched) of the comparison.
+type modeResult struct {
+	UpdatesPerSecond float64       `json:"updates_per_second"`
+	ElapsedNs        int64         `json:"elapsed_ns"`
+	Ticks            int           `json:"ticks"`
+	Decay            segmentResult `json:"decay"`
+	Other            segmentResult `json:"other"`
+}
+
+func newModeResult(s stream.ReplayStats) modeResult {
+	return modeResult{
+		UpdatesPerSecond: s.UpdatesPerSecond(),
+		ElapsedNs:        s.Elapsed.Nanoseconds(),
+		Ticks:            s.Ticks,
+		Decay:            newSegmentResult(s.DecaySeg),
+		Other:            newSegmentResult(s.OtherSeg),
+	}
+}
+
+type batchCompareResult struct {
+	Sequential     modeResult `json:"sequential"`
+	Batched        modeResult `json:"batched"`
+	DecaySpeedup   float64    `json:"decay_speedup"`
+	OverallSpeedup float64    `json:"overall_speedup"`
+}
+
+func speedup(batched, sequential float64) float64 {
+	if sequential <= 0 {
+		return 0
+	}
+	return batched / sequential
 }
 
 // docPipelineResult is the -docs mode extension of benchResult. The config
@@ -235,7 +297,8 @@ func (m memSnapshot) perUpdate(updates int) (allocs, bytes float64) {
 func cmdBench(args []string) error {
 	fs := flag.NewFlagSet("dyndens bench", flag.ExitOnError)
 	newSynth := synthFlags(fs)
-	batch := fs.Int("batch", 256, "micro-batch size for the replay driver")
+	readBatch := fs.Int("read-batch", 256, "micro-batch size for the replay driver (with -batch -docs the aggregator's own epoch/document batches are never split)")
+	batchMode := fs.Bool("batch", false, "epoch coalescing: drive the engine through ProcessBatch; single-threaded runs also replay the sequential baseline and report the batched-vs-sequential comparison")
 	shards := fs.Int("shards", 0, "partition the engine across K workers (0 = single-threaded)")
 	jsonOut := fs.String("json", "", "also write a machine-readable result to this `path` (- for stdout)")
 	docsMode := fs.Bool("docs", false, "bench the document→story pipeline: -vertices are background entities, -updates documents, -skew the background Zipf exponent (-neg/-mean unused)")
@@ -247,21 +310,30 @@ func cmdBench(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if err := rejectPositionalArgs(fs, "dyndens bench"); err != nil {
+		return err
+	}
 	synthCfg, err := newSynth()
 	if err != nil {
 		return fmt.Errorf("bench: %w", err)
+	}
+	if *docsMode {
+		if err := checkDecay(*decay); err != nil {
+			return fmt.Errorf("bench: %w", err)
+		}
 	}
 
 	// The -docs pipeline replays aggregated co-occurrence updates into the
 	// engine with the story tracker attached, so the measured cost is the
 	// full documents-in → stories-out path; the default mode replays raw
-	// synthetic edge deltas into a counting sink.
-	var src stream.UpdateSource
-	var agg *stream.Aggregator
-	var tracker *story.Tracker
-	if *docsMode {
-		if err := checkDecay(*decay); err != nil {
-			return fmt.Errorf("bench: %w", err)
+	// synthetic edge deltas into a counting sink. The factory builds a fresh
+	// pipeline per replay so the -batch comparison can drive the identical
+	// workload through both modes; grace is per-pass because its unit is the
+	// engine tick (updates sequentially, batches when coalescing).
+	makePipeline := func(grace uint64) (src stream.UpdateSource, agg *stream.Aggregator, tracker *story.Tracker, err error) {
+		if !*docsMode {
+			src, err = stream.NewSynthetic(synthCfg)
+			return src, nil, nil, err
 		}
 		gen, err := stream.NewDocSynthetic(stream.DocSynthConfig{
 			BackgroundEntities: synthCfg.Vertices,
@@ -272,18 +344,42 @@ func cmdBench(args []string) error {
 			BackgroundSkew:     synthCfg.Skew,
 		})
 		if err != nil {
-			return err
+			return nil, nil, nil, err
 		}
 		if agg, err = stream.NewAggregator(gen, stream.AggregatorConfig{EpochLength: *epoch, Decay: *decay}); err != nil {
+			return nil, nil, nil, err
+		}
+		if tracker, err = story.NewTracker(story.Config{MinCardinality: 3, Grace: grace}); err != nil {
+			return nil, nil, nil, err
+		}
+		return agg, agg, tracker, nil
+	}
+
+	// graceUpdates is the reference story grace window in per-update ticks.
+	// A batched run's tracker counts batch ticks instead, so its grace is
+	// rescaled by the workload's updates-per-tick ratio (measured by an
+	// untimed pre-drain of the deterministic pipeline) — otherwise the two
+	// timed passes of the -batch comparison would do different story-expiry
+	// work and the speedup would partly measure tracker-workload divergence.
+	const graceUpdates = 350
+	batchedGrace := uint64(graceUpdates)
+	if *batchMode && *docsMode {
+		src, _, _, err := makePipeline(graceUpdates)
+		if err != nil {
 			return err
 		}
-		if tracker, err = story.NewTracker(story.Config{MinCardinality: 3, Grace: 350}); err != nil {
-			return err
+		bs := stream.AsBatchSource(src, *readBatch)
+		updates, ticks := 0, 0
+		for {
+			b, err := bs.NextBatch()
+			if err != nil {
+				break
+			}
+			updates += len(b.Updates)
+			ticks++
 		}
-		src = agg
-	} else {
-		if src, err = stream.NewSynthetic(synthCfg); err != nil {
-			return err
+		if updates > 0 && ticks > 0 {
+			batchedGrace = max(1, uint64(float64(graceUpdates)*float64(ticks)/float64(updates)+0.5))
 		}
 	}
 	engCfg, err := newEngineCfg()
@@ -294,16 +390,33 @@ func cmdBench(args []string) error {
 		return fmt.Errorf("bench: -shards must be ≥ 0, got %d", *shards)
 	}
 
-	sink := &core.CountingSink{}
 	header := func(cfg core.Config, extra string) {
 		fmt.Printf("bench: %d vertices, %d updates (seed=%d skew=%g neg=%g mean=%g) | %s T=%g Nmax=%d δit=%.4g batch=%d%s\n",
 			synthCfg.Vertices, synthCfg.Updates, synthCfg.Seed, synthCfg.Skew, synthCfg.NegativeFraction, synthCfg.MeanDelta,
-			cfg.Measure.Name(), cfg.T, cfg.Nmax, cfg.DeltaIt, *batch, extra)
+			cfg.Measure.Name(), cfg.T, cfg.Nmax, cfg.DeltaIt, *readBatch, extra)
 	}
 
 	var result benchResult
+	finishJSON := func(docAgg *stream.Aggregator, tracker *story.Tracker) error {
+		if *jsonOut == "" {
+			return nil
+		}
+		if tracker != nil {
+			result.DocPipeline = newDocPipelineResult(*docStories, *docStorySize, docAgg.Config(), docAgg.Stats(), tracker)
+			result.Workload.NegativeFraction, result.Workload.MeanDelta = 0, 0
+		}
+		return result.writeJSON(*jsonOut)
+	}
 
 	if *shards > 0 {
+		grace := uint64(graceUpdates)
+		if *batchMode {
+			grace = batchedGrace
+		}
+		src, agg, tracker, err := makePipeline(grace)
+		if err != nil {
+			return err
+		}
 		se, err := shard.New(shard.Config{Shards: *shards, Engine: engCfg})
 		if err != nil {
 			return err
@@ -312,26 +425,39 @@ func cmdBench(args []string) error {
 		if tracker != nil {
 			se.SetSeqSink(tracker)
 		}
+		sink := &core.CountingSink{}
+		r := stream.NewShardReplay(src, se, sink)
 		mem := takeMemSnapshot()
-		st, err := stream.NewShardReplay(src, se, sink).Run(*batch)
+		var st stream.ShardReplayStats
+		if *batchMode {
+			st, err = r.RunBatches(*readBatch)
+		} else {
+			st, err = r.Run(*readBatch)
+		}
 		if err != nil {
 			return err
 		}
 		stats := se.Stats()
 		allocs, bytes := mem.perUpdate(st.Updates)
-		header(se.Config().Engine.WithDefaults(), fmt.Sprintf(" shards=%d", *shards))
+		extra := fmt.Sprintf(" shards=%d", *shards)
+		if *batchMode {
+			extra += " batched"
+		}
+		header(se.Config().Engine.WithDefaults(), extra)
 		fmt.Println(st)
 		fmt.Printf("sink:   became=%d ceased=%d (net output-dense=%d, deduped=%d)\n",
 			sink.Became, sink.Ceased, se.OutputDenseCount(), stats.DedupedEvents)
 		if tracker != nil {
-			tracker.Close(uint64(st.Updates))
+			tracker.Close(uint64(st.Ticks))
 			printDocBenchSummary(agg, tracker)
 		}
 		fmt.Println(shardedSummary(stats))
 		if *jsonOut != "" {
-			result.fillCommon(synthCfg, se.Config().Engine.WithDefaults(), *shards, *batch)
+			result.fillCommon(synthCfg, se.Config().Engine.WithDefaults(), *shards, *readBatch)
 			result.fillThroughput(st.Updates, st.Wall)
 			result.fillEngineStats(stats.Aggregate)
+			result.Batched = *batchMode
+			result.Ticks = st.Ticks
 			result.AllocsPerUpdate, result.BytesPerUpdate = allocs, bytes
 			result.Events.Became = sink.Became
 			result.Events.Ceased = sink.Ceased
@@ -340,51 +466,118 @@ func cmdBench(args []string) error {
 			for _, load := range stats.Loads {
 				result.PerShardBusyNs = append(result.PerShardBusyNs, load.Busy.Nanoseconds())
 			}
-			if tracker != nil {
-				result.DocPipeline = newDocPipelineResult(*docStories, *docStorySize, agg.Config(), agg.Stats(), tracker)
-				result.Workload.NegativeFraction, result.Workload.MeanDelta = 0, 0
-			}
-			return result.writeJSON(*jsonOut)
+			return finishJSON(agg, tracker)
 		}
 		return nil
 	}
 
-	eng, err := core.New(engCfg)
-	if err != nil {
-		return err
+	// Single-threaded. runOnce replays one fresh pipeline; in -batch mode it
+	// is called twice — sequential baseline first, then coalesced — over the
+	// same batch partition (RunBatches with coalesce=false times per-update
+	// processing at batch granularity, which is what makes the segment
+	// comparison apples-to-apples).
+	type singleRun struct {
+		eng     *core.Engine
+		sink    *core.CountingSink
+		agg     *stream.Aggregator
+		tracker *story.Tracker
+		st      stream.ReplayStats
+		allocs  float64
+		bytes   float64
 	}
-	engSink := core.EventSink(sink)
-	if tracker != nil {
-		engSink = core.MultiSink{sink, tracker}
-	}
-	mem := takeMemSnapshot()
-	st, err := stream.NewReplay(src, eng, engSink).Run(*batch)
-	if err != nil {
-		return err
-	}
-	allocs, bytes := mem.perUpdate(st.Updates)
-	header(eng.Config(), "")
-	fmt.Println(st)
-	fmt.Printf("sink:   became=%d ceased=%d (net output-dense=%d)\n",
-		sink.Became, sink.Ceased, eng.OutputDenseCount())
-	if tracker != nil {
-		tracker.Close(uint64(st.Updates))
-		printDocBenchSummary(agg, tracker)
-	}
-	fmt.Println(engineSummary(eng))
-	if *jsonOut != "" {
-		result.fillCommon(synthCfg, eng.Config(), 0, *batch)
-		result.fillThroughput(st.Updates, st.Elapsed)
-		result.fillEngineStats(eng.Stats())
-		result.AllocsPerUpdate, result.BytesPerUpdate = allocs, bytes
-		result.Events.Became = sink.Became
-		result.Events.Ceased = sink.Ceased
-		result.Events.NetOutputDense = eng.OutputDenseCount()
-		if tracker != nil {
-			result.DocPipeline = newDocPipelineResult(*docStories, *docStorySize, agg.Config(), agg.Stats(), tracker)
-			result.Workload.NegativeFraction, result.Workload.MeanDelta = 0, 0
+	runOnce := func(coalesce bool) (*singleRun, error) {
+		grace := uint64(graceUpdates)
+		if *batchMode && coalesce {
+			grace = batchedGrace
 		}
-		return result.writeJSON(*jsonOut)
+		src, agg, tracker, err := makePipeline(grace)
+		if err != nil {
+			return nil, err
+		}
+		eng, err := core.New(engCfg)
+		if err != nil {
+			return nil, err
+		}
+		run := &singleRun{eng: eng, sink: &core.CountingSink{}, agg: agg, tracker: tracker}
+		engSink := core.EventSink(run.sink)
+		if tracker != nil {
+			engSink = core.MultiSink{run.sink, tracker}
+		}
+		r := stream.NewReplay(src, eng, engSink)
+		mem := takeMemSnapshot()
+		if *batchMode {
+			run.st, err = r.RunBatches(*readBatch, coalesce)
+		} else {
+			run.st, err = r.Run(*readBatch)
+		}
+		if err != nil {
+			return nil, err
+		}
+		run.allocs, run.bytes = mem.perUpdate(run.st.Updates)
+		if tracker != nil {
+			tracker.Close(uint64(run.st.Ticks))
+		}
+		return run, nil
+	}
+
+	var seq *singleRun
+	if *batchMode {
+		// Sequential baseline pass for the comparison.
+		if seq, err = runOnce(false); err != nil {
+			return err
+		}
+	}
+	measured, err := runOnce(true)
+	if err != nil {
+		return err
+	}
+
+	extra := ""
+	if *batchMode {
+		extra = " batched"
+	}
+	header(measured.eng.Config(), extra)
+	if seq != nil {
+		fmt.Printf("sequential: %v\n", seq.st)
+	}
+	fmt.Println(measured.st)
+	if seq != nil {
+		if seq.st.DecaySeg.Batches > 0 {
+			fmt.Printf("speedup: decay-segment %.2fx, overall %.2fx (batched vs sequential)\n",
+				speedup(measured.st.DecaySeg.UpdatesPerSecond(), seq.st.DecaySeg.UpdatesPerSecond()),
+				speedup(measured.st.UpdatesPerSecond(), seq.st.UpdatesPerSecond()))
+		} else {
+			// Raw-update workloads have no epoch bursts; a 0.00x decay figure
+			// would read as a regression rather than an absent segment.
+			fmt.Printf("speedup: overall %.2fx (batched vs sequential; workload has no decay segment)\n",
+				speedup(measured.st.UpdatesPerSecond(), seq.st.UpdatesPerSecond()))
+		}
+	}
+	fmt.Printf("sink:   became=%d ceased=%d (net output-dense=%d)\n",
+		measured.sink.Became, measured.sink.Ceased, measured.eng.OutputDenseCount())
+	if measured.tracker != nil {
+		printDocBenchSummary(measured.agg, measured.tracker)
+	}
+	fmt.Println(engineSummary(measured.eng))
+	if *jsonOut != "" {
+		result.fillCommon(synthCfg, measured.eng.Config(), 0, *readBatch)
+		result.fillThroughput(measured.st.Updates, measured.st.Elapsed)
+		result.fillEngineStats(measured.eng.Stats())
+		result.Batched = *batchMode
+		result.Ticks = measured.st.Ticks
+		result.AllocsPerUpdate, result.BytesPerUpdate = measured.allocs, measured.bytes
+		result.Events.Became = measured.sink.Became
+		result.Events.Ceased = measured.sink.Ceased
+		result.Events.NetOutputDense = measured.eng.OutputDenseCount()
+		if seq != nil {
+			result.BatchCompare = &batchCompareResult{
+				Sequential:     newModeResult(seq.st),
+				Batched:        newModeResult(measured.st),
+				DecaySpeedup:   speedup(measured.st.DecaySeg.UpdatesPerSecond(), seq.st.DecaySeg.UpdatesPerSecond()),
+				OverallSpeedup: speedup(measured.st.UpdatesPerSecond(), seq.st.UpdatesPerSecond()),
+			}
+		}
+		return finishJSON(measured.agg, measured.tracker)
 	}
 	return nil
 }

@@ -19,6 +19,9 @@ func cmdGen(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if err := rejectPositionalArgs(fs, "dyndens gen"); err != nil {
+		return err
+	}
 	cfg, err := newSynth()
 	if err != nil {
 		return fmt.Errorf("gen: %w", err)

@@ -127,6 +127,19 @@ func synthFlags(fs *flag.FlagSet) func() (stream.SynthConfig, error) {
 	}
 }
 
+// rejectPositionalArgs fails when anything is left after flag parsing. The
+// subcommands take no positional arguments, and Go's flag package stops at
+// the first non-flag token — without this check a stray value (for example a
+// pre-PR-5 `-batch 512`, when -batch was the micro-batch size rather than
+// the coalescing switch) would silently discard every argument after it and
+// run a completely different configuration.
+func rejectPositionalArgs(fs *flag.FlagSet, cmd string) error {
+	if fs.NArg() > 0 {
+		return fmt.Errorf("%s: unexpected argument %q (flags must precede it; note -batch is a boolean switch, the micro-batch size is -read-batch)", cmd, fs.Arg(0))
+	}
+	return nil
+}
+
 func measureByName(name string) (density.Measure, error) {
 	switch name {
 	case "avgweight":

@@ -344,3 +344,111 @@ func TestGenRejectsBadFlags(t *testing.T) {
 		t.Error("gen -vertices 1 succeeded, want error")
 	}
 }
+
+// TestRunBatchModeMarkers pins `run -batch`: "%%" markers delimit coalesced
+// batches, the net event set equals the sequential run's final result set
+// transitions, and the replay reports ticks (one per batch).
+func TestRunBatchModeMarkers(t *testing.T) {
+	dir := t.TempDir()
+	streamPath := filepath.Join(dir, "marked.stream")
+	data := "1 2 5\n2 3 5\n%%\n1 3 5\n%%\n%%\n1 3 -9\n"
+	if err := os.WriteFile(streamPath, []byte(data), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := captureStdout(t, func() error {
+		return cmdRun([]string{"-input", streamPath, "-T", "2", "-nmax", "4", "-batch"})
+	})
+	if !strings.Contains(out, "ticks=4") {
+		t.Errorf("expected 4 logical ticks in output:\n%s", out)
+	}
+	// The triangle {1,2,3} becomes output-dense in batch 2 and its collapse
+	// in batch 4 drops {1,3}-dependent subgraphs; events must be net per
+	// batch, so the single-batch flap-free stream has matching became lines.
+	if !strings.Contains(out, "became-output-dense") {
+		t.Errorf("no became events in batch run:\n%s", out)
+	}
+	// The sequential reader skips markers: same 4 updates, one tick each.
+	seq := captureStdout(t, func() error {
+		return cmdRun([]string{"-input", streamPath, "-T", "2", "-nmax", "4"})
+	})
+	if !strings.Contains(seq, "updates=4 ticks=4") {
+		t.Errorf("sequential run should see 4 updates with 4 ticks (markers skipped):\n%s", seq)
+	}
+}
+
+// TestStoriesBatchParity: `stories run -batch` must recover the same stories
+// as the sequential mode on the golden document stream — the lifecycle logs
+// differ in sequence numbering (batch ticks vs updates) but the born-story
+// entity sets must match, single and sharded batched runs must be identical,
+// and coalescing must reduce ticks below updates.
+func TestStoriesBatchParity(t *testing.T) {
+	input := filepath.Join("testdata", "docs_small.docs")
+	run := func(args ...string) string {
+		return captureStdout(t, func() error {
+			return cmdStoriesRun(append([]string{"-input", input}, args...))
+		})
+	}
+	// Grace is measured in engine ticks; scale it to batch ticks (one per
+	// document/epoch burst instead of one per pair update).
+	batched := run("-batch", "-grace", "40")
+	batchedSharded := run("-batch", "-grace", "40", "-shards", "4")
+	if a, b := storyLifecycleLines(batched), storyLifecycleLines(batchedSharded); strings.Join(a, "\n") != strings.Join(b, "\n") {
+		t.Errorf("batched lifecycle differs between single and sharded:\n--- single ---\n%s\n--- sharded ---\n%s",
+			strings.Join(a, "\n"), strings.Join(b, "\n"))
+	}
+	entitySets := func(out string) []string {
+		var sets []string
+		for _, line := range strings.Split(out, "\n") {
+			if strings.HasPrefix(line, "story ") {
+				if i := strings.Index(line, "entities="); i >= 0 {
+					sets = append(sets, line[i:])
+				}
+			}
+		}
+		sort.Strings(sets)
+		return sets
+	}
+	sequential := run()
+	if a, b := entitySets(batched), entitySets(sequential); strings.Join(a, "|") != strings.Join(b, "|") {
+		t.Errorf("final story entity sets differ:\nbatched:    %v\nsequential: %v", a, b)
+	}
+	if !regexp.MustCompile(`replay\{updates=(\d+) ticks=`).MatchString(batched) {
+		t.Fatalf("no replay stats in batched output:\n%s", batched)
+	}
+	m := regexp.MustCompile(`replay\{updates=(\d+) ticks=(\d+)`).FindStringSubmatch(batched)
+	if m == nil || m[1] == m[2] {
+		t.Errorf("batched run did not coalesce ticks: %v", m)
+	}
+}
+
+// TestBenchBatchCompare smoke-tests the -batch comparison path and its JSON
+// block for the single-threaded and sharded engines.
+func TestBenchBatchCompare(t *testing.T) {
+	jsonPath := filepath.Join(t.TempDir(), "bench.json")
+	out := captureStdout(t, func() error {
+		return cmdBench([]string{"-docs", "-vertices", "30", "-updates", "600", "-seed", "7",
+			"-skew", "1.1", "-T", "6.5", "-nmax", "4", "-batch", "-json", jsonPath})
+	})
+	if !strings.Contains(out, "speedup: decay-segment") {
+		t.Errorf("missing speedup line:\n%s", out)
+	}
+	if !strings.Contains(out, "sequential: replay{") {
+		t.Errorf("missing sequential baseline stats:\n%s", out)
+	}
+	data, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"batched": true`, `"batch_compare"`, `"decay_speedup"`, `"ticks"`} {
+		if !strings.Contains(string(data), want) {
+			t.Errorf("bench JSON missing %s:\n%s", want, data)
+		}
+	}
+	shardOut := captureStdout(t, func() error {
+		return cmdBench([]string{"-docs", "-vertices", "30", "-updates", "600", "-seed", "7",
+			"-skew", "1.1", "-T", "6.5", "-nmax", "4", "-batch", "-shards", "2"})
+	})
+	if !strings.Contains(shardOut, "shard-replay{shards=2") || !strings.Contains(shardOut, "batched") {
+		t.Errorf("sharded batched bench output malformed:\n%s", shardOut)
+	}
+}

@@ -16,17 +16,25 @@ import (
 // cmdRun replays a recorded update stream (file or stdin) through the engine
 // — single-threaded by default, sharded across K workers with -shards K —
 // streaming the output-dense changes that pass the configured filter to
-// stdout, and prints the throughput and engine summary at the end.
+// stdout, and prints the throughput and engine summary at the end. With
+// -batch the stream is replayed in coalesced batches (Engine.ProcessBatch):
+// "%%" marker lines in the input delimit the batches (a file without markers
+// is one batch), each batch is one logical tick, and the reported events are
+// the net transitions per batch.
 func cmdRun(args []string) error {
 	fs := flag.NewFlagSet("dyndens run", flag.ExitOnError)
 	input := fs.String("input", "-", "update stream path (- for stdin), edge-list `a b delta` lines")
-	batch := fs.Int("batch", 256, "micro-batch size for the replay driver")
+	batch := fs.Int("read-batch", 256, "micro-batch size for the replay driver (with -batch: also the maximum coalesced batch size)")
+	batchMode := fs.Bool("batch", false, "coalesce batches through Engine.ProcessBatch (batches delimited by `%%` lines, split at -read-batch; net events per batch)")
 	shards := fs.Int("shards", 0, "partition the engine across K workers (0 = single-threaded)")
 	quiet := fs.Bool("quiet", false, "suppress per-event output, print only the summary")
 	minCard := fs.Int("min-card", 0, "only report subgraphs with at least this many vertices")
 	watch := fs.String("watch", "", "comma-separated vertex watchlist; only report subgraphs containing one")
 	newEngineCfg := engineFlags(fs, 3, 5)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := rejectPositionalArgs(fs, "dyndens run"); err != nil {
 		return err
 	}
 
@@ -43,16 +51,29 @@ func cmdRun(args []string) error {
 	}
 
 	var src stream.UpdateSource
+	var fileSrc *stream.FileSource
 	if *input == "-" {
-		src = stream.NewReaderSource("stdin", os.Stdin)
+		fileSrc = stream.NewReaderSource("stdin", os.Stdin)
 	} else {
 		f, err := stream.OpenFile(*input)
 		if err != nil {
 			return err
 		}
 		defer f.Close()
-		src = f
+		fileSrc = f
 	}
+	if *batchMode {
+		// Memory guard for coalesced replay: a marker-less stream is one
+		// whole-stream batch, so cap batches at the read size — runs longer
+		// than -read-batch split into their own ticks. SetMaxBatch treats
+		// n ≤ 0 as "no cap", which would silently disable the guard; reject
+		// it here like the sequential driver does.
+		if *batch <= 0 {
+			return fmt.Errorf("run: -read-batch must be positive, got %d", *batch)
+		}
+		fileSrc.SetMaxBatch(*batch)
+	}
+	src = fileSrc
 
 	// Sink chain: filter → counter (+ printer unless -quiet).
 	counter := &core.CountingSink{}
@@ -71,7 +92,13 @@ func cmdRun(args []string) error {
 			return err
 		}
 		defer se.Close()
-		st, err := stream.NewShardReplay(src, se, filter).Run(*batch)
+		r := stream.NewShardReplay(src, se, filter)
+		var st stream.ShardReplayStats
+		if *batchMode {
+			st, err = r.RunBatches(*batch)
+		} else {
+			st, err = r.Run(*batch)
+		}
 		if err != nil {
 			return err
 		}
@@ -86,7 +113,13 @@ func cmdRun(args []string) error {
 	if err != nil {
 		return err
 	}
-	st, err := stream.NewReplay(src, eng, filter).Run(*batch)
+	r := stream.NewReplay(src, eng, filter)
+	var st stream.ReplayStats
+	if *batchMode {
+		st, err = r.RunBatches(*batch, true)
+	} else {
+		st, err = r.Run(*batch)
+	}
 	if err != nil {
 		return err
 	}

@@ -155,6 +155,9 @@ func cmdStoriesGenDocs(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if err := rejectPositionalArgs(fs, "dyndens stories gen-docs"); err != nil {
+		return err
+	}
 	cfg, err := newSynth()
 	if err != nil {
 		return err
@@ -213,7 +216,8 @@ func cmdStoriesRun(args []string) error {
 	fs := flag.NewFlagSet("dyndens stories run", flag.ExitOnError)
 	input := fs.String("input", "-", "document stream path (- for stdin), `time e1 e2 ...` lines")
 	synth := fs.Bool("synth", false, "generate the documents instead of reading -input (see gen-docs flags)")
-	batch := fs.Int("batch", 256, "micro-batch size for the replay driver")
+	batch := fs.Int("read-batch", 256, "micro-batch size for the replay driver (unused with -batch: the aggregator's own epoch/document batches are never split)")
+	batchMode := fs.Bool("batch", false, "epoch coalescing: ship each decay burst and each document's deltas whole as one Engine.ProcessBatch (story grace then counts batch ticks)")
 	shards := fs.Int("shards", 0, "partition the engine across K workers (0 = single-threaded)")
 	quiet := fs.Bool("quiet", false, "suppress the streaming lifecycle log, print only summaries and the table")
 	newSynthCfg := docSynthFlags(fs)
@@ -221,6 +225,9 @@ func cmdStoriesRun(args []string) error {
 	newTrkCfg := trackerFlags(fs)
 	newEngineCfg := engineFlags(fs, 6.5, 4)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := rejectPositionalArgs(fs, "dyndens stories run"); err != nil {
 		return err
 	}
 	if *shards < 0 {
@@ -281,11 +288,17 @@ func cmdStoriesRun(args []string) error {
 		}
 		defer se.Close()
 		se.SetSeqSink(tracker)
-		st, err := stream.NewShardReplay(agg, se, nil).Run(*batch)
+		r := stream.NewShardReplay(agg, se, nil)
+		var st stream.ShardReplayStats
+		if *batchMode {
+			st, err = r.RunBatches(*batch)
+		} else {
+			st, err = r.Run(*batch)
+		}
 		if err != nil {
 			return err
 		}
-		tracker.Close(uint64(st.Updates))
+		tracker.Close(uint64(st.Ticks))
 		fmt.Println(st)
 		fmt.Println(agg.Stats())
 		printStoryTable(tracker)
@@ -297,11 +310,17 @@ func cmdStoriesRun(args []string) error {
 	if err != nil {
 		return err
 	}
-	st, err := stream.NewReplay(agg, eng, tracker).Run(*batch)
+	r := stream.NewReplay(agg, eng, tracker)
+	var st stream.ReplayStats
+	if *batchMode {
+		st, err = r.RunBatches(*batch, true)
+	} else {
+		st, err = r.Run(*batch)
+	}
 	if err != nil {
 		return err
 	}
-	tracker.Close(uint64(st.Updates))
+	tracker.Close(uint64(st.Ticks))
 	fmt.Println(st)
 	fmt.Println(agg.Stats())
 	printStoryTable(tracker)

@@ -129,6 +129,38 @@ func TestProcessSteadyStateZeroAllocMixed(t *testing.T) {
 	assertZeroAllocs(t, "mixed", cycle)
 }
 
+// TestProcessBatchSteadyStateZeroAlloc pins the batched hot path to the same
+// allocation discipline as Process: a steady-state batch — weights move, the
+// output-dense set does not — performs zero allocations with a non-retaining
+// sink. The batch machinery (per-pair net map, sorted key/dirty scratch,
+// whole-index snapshot, event staging) must all come from engine-owned
+// reusable storage.
+func TestProcessBatchSteadyStateZeroAlloc(t *testing.T) {
+	eng, edges := steadyStateEngine(t)
+	const delta = 1e-9
+	// Two bursts per cycle — an all-positive batch exercising the discovery
+	// phase and an all-negative one exercising the repair/decay path (the
+	// epoch-burst shape) — mirrored so every weight returns to baseline each
+	// cycle and repeated runs cannot drift across a threshold. Duplicate
+	// pairs within each burst exercise the coalescing path.
+	pos := make([]core.Update, 0, 2*len(edges))
+	neg := make([]core.Update, 0, 2*len(edges))
+	for _, u := range edges {
+		u.Delta = delta / 2
+		pos = append(pos, u, u)
+		u.Delta = -delta / 2
+		neg = append(neg, u, u)
+	}
+	cycle := func() {
+		eng.ProcessBatch(pos)
+		eng.ProcessBatch(neg)
+	}
+	// Pre-run so first-touch growth of the batch scratch (net map, key/dirty
+	// slices, index snapshot buffer) happens before measuring.
+	cycle()
+	assertZeroAllocs(t, "batch", cycle)
+}
+
 // TestEmitCloneElision pins the sink capability contract: a retaining sink
 // (CollectorSink) must receive private set copies, while a non-retaining
 // chain (FilterSink → CountingSink) must not force clones — and the filter

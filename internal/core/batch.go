@@ -1,0 +1,346 @@
+// Batched update processing (epoch coalescing).
+//
+// The fading-weight schedule of the story pipeline makes every epoch tick a
+// burst of correlated updates — one negative delta per tracked pair — and the
+// per-document positive deltas arrive in small bursts too. Feeding those
+// bursts to Process one pair at a time pays a full index snapshot,
+// exploration setup, and event round trip per pair. ProcessBatch amortises
+// that: all weight deltas are applied to the graph up front, the index is
+// repaired in one pass, and a single deduplicated discovery phase runs over
+// the coalesced per-pair net deltas.
+//
+// Batch semantics: a batch is ONE logical tick. The installed sink observes
+// the net output-dense transitions across the whole batch — a subgraph that
+// both becomes and ceases output-dense within the batch is not reported — in
+// canonical (kind, set-key) order, followed by exactly one EndUpdate. The
+// final index, scores, and output-dense set are identical to processing the
+// batch's updates one Process call at a time; only the event granularity
+// changes. The batch-vs-sequential conformance suite in internal/stream pins
+// this equivalence against the sequential engine and brute.EnumerateAll.
+package core
+
+import (
+	"slices"
+	"sort"
+
+	"dyndens/internal/vset"
+)
+
+// packPair encodes the unordered pair {a, b} as one comparable word with the
+// smaller vertex in the high half, so sorting packed keys yields the canonical
+// (min, max) lexicographic pair order.
+func packPair(a, b Vertex) uint64 {
+	if a > b {
+		a, b = b, a
+	}
+	return uint64(uint32(a))<<32 | uint64(uint32(b))
+}
+
+func unpackPair(k uint64) (a, b Vertex) {
+	return Vertex(k >> 32), Vertex(uint32(k))
+}
+
+// stagedEvent is one per-batch candidate transition awaiting netting.
+type stagedEvent struct {
+	key    string
+	before bool // output-dense before the batch (inferred from the first kind)
+	kind   EventKind
+	set    vset.Set // private clone; handed to the sink verbatim at flush
+	score  float64
+}
+
+// ProcessBatch applies a batch of edge-weight updates as one logical tick and
+// returns the net changes to the output-dense subgraph set (nil with a sink
+// installed, exactly like Process). An empty batch is a no-op tick: it emits
+// nothing but still advances a boundary-aware sink's update sequence.
+// Duplicate pairs within the batch coalesce to their net applied delta.
+func (e *Engine) ProcessBatch(updates []Update) []Event {
+	return e.ProcessBatchRouted(updates, nil)
+}
+
+// ProcessBatchRouted is ProcessBatch for engines embedded as workers of a
+// partitioned deployment: seed reports whether this engine is the designated
+// discovery seeder for a pair (see ProcessRouted). A nil seed seeds every
+// pair, making ProcessBatchRouted(u, nil) exactly ProcessBatch(u).
+func (e *Engine) ProcessBatchRouted(updates []Update, seed func(a, b Vertex) bool) []Event {
+	e.stats.Updates += uint64(len(updates))
+	e.stats.Batches++
+
+	// Apply every delta to the graph up front, coalescing the net applied
+	// change per pair. Applying in stream order keeps the clamp-at-zero path
+	// exact: the per-update applied deltas telescope to final − initial.
+	if e.batchNet == nil {
+		e.batchNet = make(map[uint64]float64)
+		e.stageIdx = make(map[string]int)
+	}
+	clear(e.batchNet)
+	for _, u := range updates {
+		if u.A == u.B || u.Delta == 0 {
+			continue
+		}
+		before, after := e.g.Apply(u)
+		applied := after - before
+		if applied == 0 {
+			continue
+		}
+		if applied < 0 {
+			e.stats.NegativeUpdates++
+		} else {
+			e.stats.PositiveUpdates++
+		}
+		e.batchNet[packPair(u.A, u.B)] += applied
+	}
+	e.batchKeys = e.batchKeys[:0]
+	for k, d := range e.batchNet {
+		if d == 0 {
+			delete(e.batchNet, k)
+			continue
+		}
+		e.batchKeys = append(e.batchKeys, k)
+	}
+
+	e.beginEmit()
+	if len(e.batchKeys) == 0 {
+		return e.finishEmit() // no-op tick: boundary only
+	}
+	slices.Sort(e.batchKeys)
+	e.batchDirty = e.batchDirty[:0]
+	for _, k := range e.batchKeys {
+		a, b := unpackPair(k)
+		e.batchDirty = append(e.batchDirty, a, b)
+	}
+	slices.Sort(e.batchDirty)
+	e.batchDirty = slices.Compact(e.batchDirty)
+
+	e.batching = true
+	e.batchSeed = seed
+	e.ix.BeginUpdate()
+	e.batchRepair()
+	e.batchDiscover()
+	e.batchSeed = nil
+	e.batching = false
+	if n := e.ix.NodeCount(); n > e.stats.MaxIndexNodes {
+		e.stats.MaxIndexNodes = n
+	}
+	e.flushBatchEvents()
+	return e.finishEmit()
+}
+
+// batchDeltaOf returns the summed net applied delta of the batch's pairs that
+// lie inside c — exactly the amount c's score changed over the batch. The
+// dirty-vertex intersection rejects untouched subgraphs before any pair
+// lookup; it binary-searches the dirty set per member of c (|c| ≤ Nmax, so
+// O(Nmax·log dirty)) rather than merge-scanning, because a broad decay burst
+// makes the dirty set approach the whole vertex universe and this runs once
+// per indexed subgraph per batch plus once per exploration frame.
+func (e *Engine) batchDeltaOf(c vset.Set) float64 {
+	e.dirtyInC = e.dirtyInC[:0]
+	for _, v := range c {
+		if vset.Set(e.batchDirty).Contains(v) {
+			e.dirtyInC = append(e.dirtyInC, v)
+		}
+	}
+	if len(e.dirtyInC) < 2 {
+		return 0
+	}
+	var total float64
+	for x := 0; x < len(e.dirtyInC); x++ {
+		for y := x + 1; y < len(e.dirtyInC); y++ {
+			total += e.batchNet[packPair(e.dirtyInC[x], e.dirtyInC[y])]
+		}
+	}
+	return total
+}
+
+// batchRepair is the batch counterpart of Algorithm 1's bookkeeping, run once
+// over a whole-index snapshot instead of once per pair: every indexed dense
+// subgraph touched by the batch has its stored score moved straight to its
+// final value, output-threshold crossings are staged, ImplicitTooDense
+// families whose base is no longer too-dense are dropped, and subgraphs that
+// are no longer dense are evicted. Because eviction tests the FINAL score, a
+// subgraph evicted here can never be re-admitted by batchDiscover — which is
+// what keeps the per-batch event stream free of became/ceased flapping and
+// the sharded merger's per-unit kinds consistent across workers.
+func (e *Engine) batchRepair() {
+	// Snapshot the affected dense nodes: a narrow batch (one document's
+	// pairs) walks the inverted lists of its few dirty vertices — the same
+	// lists sequential processing walks — while a broad one (an epoch decay
+	// burst touches nearly every tracked pair) amortises better as one
+	// whole-tree walk. The inverted-list route visits a node once per dirty
+	// vertex it contains, so those snapshots are deduplicated through the
+	// index's per-update annotation epoch (nothing else reads annotations on
+	// pre-existing nodes during a batch).
+	narrow := len(e.batchDirty) <= 8
+	e.affectedBuf = e.affectedBuf[:0]
+	if narrow {
+		for _, v := range e.batchDirty {
+			e.affectedBuf = e.ix.AppendDenseContaining(e.affectedBuf, v)
+		}
+	} else {
+		e.affectedBuf = e.ix.AppendDense(e.affectedBuf)
+	}
+	setBuf := e.getSetBuf()
+	for _, node := range e.affectedBuf {
+		if !node.Dense() {
+			continue // evicted via an earlier node's pruning cascade
+		}
+		if narrow {
+			if _, seen := e.ix.Annotation(node); seen {
+				continue // already repaired via another dirty vertex's list
+			}
+			e.ix.Annotate(node, 0)
+		}
+		c := node.SetInto(setBuf)
+		setBuf = c
+		delta := e.batchDeltaOf(c)
+		if delta == 0 {
+			continue
+		}
+		n := c.Len()
+		oldScore := node.Score()
+		newScore := e.ix.AddScore(node, delta)
+		if star := e.ix.StarOf(node); star != nil {
+			e.ix.SetScore(star, newScore)
+		}
+		wasOutput := e.th.IsOutputDense(oldScore, n)
+		isOutput := e.th.IsOutputDense(newScore, n)
+		if wasOutput && !isOutput {
+			e.emit(CeasedOutputDense, c, newScore)
+		} else if !wasOutput && isOutput {
+			e.emit(BecameOutputDense, c, newScore)
+		}
+		if e.ix.HasStar(node) && !e.th.IsTooDense(newScore, n) {
+			e.ix.RemoveStar(node)
+		}
+		if !e.th.IsDense(newScore, n) {
+			e.ix.EvictDense(node)
+			e.stats.Evictions++
+		}
+	}
+	e.putSetBuf(setBuf)
+}
+
+// batchDiscover runs Algorithm 1's discovery work once per coalesced
+// positive pair, in canonical pair order, against the final graph. Scores are
+// already final after batchRepair, so — unlike processPositive — the
+// stable-dense path performs no bump: it only maintains ImplicitTooDense
+// families that the batch pushed over the too-dense threshold and explores.
+// Subgraphs admitted for an earlier pair are part of later pairs' snapshots,
+// which is what makes the per-pair passes compose into one complete pass.
+func (e *Engine) batchDiscover() {
+	for _, k := range e.batchKeys {
+		delta := e.batchNet[k]
+		if delta <= 0 {
+			continue // negative pairs are fully handled by batchRepair
+		}
+		a, b := unpackPair(k)
+		e.a, e.b, e.delta = a, b, delta
+		e.seedPairs = e.batchSeed == nil || e.batchSeed(a, b)
+		e.maxIter = e.th.Iterations(delta)
+		e.computeMaxExplore()
+
+		e.affectedBuf = e.ix.AppendDenseContainingEither(e.affectedBuf[:0], a, b)
+		e.starBuf = e.ix.AppendStarNodes(e.starBuf[:0])
+
+		if e.seedPairs {
+			e.pairBuf[0], e.pairBuf[1] = a, b // a < b by canonical pair order
+			pair := vset.Set(e.pairBuf[:])
+			if e.ix.LookupDense(pair) == nil {
+				if w := e.g.Weight(a, b); e.th.IsDense(w, 2) {
+					e.admit(pair, w, 1)
+				}
+			}
+		}
+
+		setBuf := e.getSetBuf()
+		for _, node := range e.affectedBuf {
+			if !node.Dense() {
+				continue
+			}
+			c := node.SetInto(setBuf)
+			setBuf = c
+			hasA, hasB := c.Contains(a), c.Contains(b)
+			if hasA && hasB {
+				score := node.Score()
+				if e.maintainStar(node, score, c.Len()) {
+					e.starEdgeScan(c, score, func(c2 vset.Set, s2 float64) { e.admit(c2, s2, 2) })
+				}
+				e.explore(c, score, 1)
+			} else {
+				e.cheapExplore(c, node.Score(), hasA)
+			}
+		}
+		e.putSetBuf(setBuf)
+
+		for _, star := range e.starBuf {
+			e.processStar(star)
+		}
+	}
+}
+
+// stageBatchEvent records one output-dense transition of the batch in flight.
+// The first transition staged for a set fixes its pre-batch status; the last
+// one fixes its kind, score, and final status. (With final-score eviction a
+// set in fact transitions at most once per batch per engine — the netting is
+// the safety net that makes the boundary contract hold by construction.)
+//
+// The set is copied out of engine scratch into a buffer from the set free
+// list — it must survive until the flush at the batch boundary, while the
+// scratch it was built in is reused by the rest of the batch. The buffer is
+// recycled at flush unless the sink retains sets, so a churny batch feeding
+// a non-retaining sink settles into the same allocation-free steady state as
+// sequential Process (only the dedup key strings remain per-event).
+func (e *Engine) stageBatchEvent(kind EventKind, c vset.Set, score float64) {
+	k := c.Key()
+	if i, ok := e.stageIdx[k]; ok {
+		e.staged[i].kind = kind
+		e.staged[i].score = score
+		return
+	}
+	e.stageIdx[k] = len(e.staged)
+	e.staged = append(e.staged, stagedEvent{
+		key:    k,
+		before: kind == CeasedOutputDense,
+		kind:   kind,
+		set:    vset.Set(append(e.getSetBuf(), c...)),
+		score:  score,
+	})
+}
+
+// flushBatchEvents nets the staged transitions against the pre-batch state
+// and emits the survivors to the current destination in canonical (kind, key)
+// order. A retaining sink (cloneSets) keeps the staged buffer — it leaves the
+// free-list pool for good; otherwise the set is valid only during Emit, per
+// the SetRetainer contract, and the buffer is recycled.
+func (e *Engine) flushBatchEvents() {
+	if len(e.staged) == 0 {
+		return
+	}
+	sort.Slice(e.staged, func(i, j int) bool {
+		if e.staged[i].kind != e.staged[j].kind {
+			return e.staged[i].kind < e.staged[j].kind
+		}
+		return e.staged[i].key < e.staged[j].key
+	})
+	for i := range e.staged {
+		se := &e.staged[i]
+		after := se.kind == BecameOutputDense
+		if after != se.before {
+			e.stats.Events++
+			e.cur.Emit(Event{
+				Kind:    se.kind,
+				Set:     se.set,
+				Score:   se.score,
+				Density: e.th.Density(se.score, se.set.Len()),
+			})
+			if e.cloneSets {
+				se.set = nil // handed over; the sink owns it now
+				continue
+			}
+		}
+		e.putSetBuf(se.set)
+		se.set = nil
+	}
+	e.staged = e.staged[:0]
+	clear(e.stageIdx)
+}

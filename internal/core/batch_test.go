@@ -1,0 +1,234 @@
+// Unit tests for Engine.ProcessBatch: batch-boundary bookkeeping, per-pair
+// coalescing (duplicates, clamping, exact cancellation), event netting, and
+// randomized final-state equivalence against the sequential engine and the
+// brute-force oracle. The full pipeline-level conformance suite (sharded
+// paths, story records) lives in internal/stream.
+package core_test
+
+import (
+	"math/rand"
+	"slices"
+	"testing"
+
+	"dyndens/internal/baseline/brute"
+	"dyndens/internal/core"
+	"dyndens/internal/stream"
+)
+
+// boundarySink counts events and update boundaries.
+type boundarySink struct {
+	core.CollectorSink
+	boundaries int
+}
+
+func (b *boundarySink) EndUpdate() { b.boundaries++ }
+
+func TestProcessBatchEmptyAndNoopTicksBoundary(t *testing.T) {
+	eng := core.MustNew(core.Config{T: 1, Nmax: 4})
+	sink := &boundarySink{}
+	eng.SetSink(sink)
+
+	eng.ProcessBatch(nil)
+	eng.ProcessBatch([]core.Update{})
+	eng.ProcessBatch([]core.Update{{A: 1, B: 1, Delta: 5}, {A: 2, B: 3, Delta: 0}})
+	// +2 then −2 on the same pair nets to zero: no transition, still one tick.
+	eng.ProcessBatch([]core.Update{{A: 1, B: 2, Delta: 2}, {A: 1, B: 2, Delta: -2}})
+
+	if sink.boundaries != 4 {
+		t.Fatalf("boundaries = %d, want 4 (one per ProcessBatch call)", sink.boundaries)
+	}
+	if sink.Len() != 0 {
+		t.Fatalf("no-op batches emitted %d events", sink.Len())
+	}
+	st := eng.Stats()
+	if st.Batches != 4 {
+		t.Fatalf("Stats.Batches = %d, want 4", st.Batches)
+	}
+	if st.Updates != 4 {
+		t.Fatalf("Stats.Updates = %d, want 4 (individual updates counted)", st.Updates)
+	}
+	if eng.Graph().Weight(1, 2) != 0 {
+		t.Fatalf("cancelled pair left weight %g", eng.Graph().Weight(1, 2))
+	}
+}
+
+func TestProcessBatchDuplicatePairCoalesces(t *testing.T) {
+	seq := core.MustNew(core.Config{T: 2, Nmax: 4})
+	bat := core.MustNew(core.Config{T: 2, Nmax: 4})
+	batch := []core.Update{
+		{A: 1, B: 2, Delta: 1.5},
+		{A: 2, B: 1, Delta: 1.0}, // same pair, opposite orientation
+		{A: 2, B: 3, Delta: 2.5},
+		{A: 1, B: 2, Delta: 0.5},
+	}
+	for _, u := range batch {
+		seq.Process(u)
+	}
+	evs := bat.ProcessBatch(batch)
+	if !slices.Equal(bat.OutputDenseKeys(), seq.OutputDenseKeys()) {
+		t.Fatalf("batched keys %v != sequential %v", bat.OutputDenseKeys(), seq.OutputDenseKeys())
+	}
+	if w := bat.Graph().Weight(1, 2); w != 3 {
+		t.Fatalf("coalesced weight = %g, want 3", w)
+	}
+	// {1,2} reached density 3 ≥ T·1: exactly one net became event for it.
+	var keys []string
+	for _, ev := range evs {
+		if ev.Kind != core.BecameOutputDense {
+			t.Fatalf("unexpected %v event in a positive batch", ev.Kind)
+		}
+		keys = append(keys, ev.Set.Key())
+	}
+	if !slices.Contains(keys, "1,2") {
+		t.Fatalf("no became event for the coalesced pair; events: %v", keys)
+	}
+}
+
+// TestProcessBatchClampOrdering pins the clamp-at-zero semantics: the net
+// applied delta is final − initial under in-order application, not the sum of
+// the raw deltas.
+func TestProcessBatchClampOrdering(t *testing.T) {
+	seq := core.MustNew(core.Config{T: 2, Nmax: 4})
+	bat := core.MustNew(core.Config{T: 2, Nmax: 4})
+	warm := core.Update{A: 1, B: 2, Delta: 5}
+	seq.Process(warm)
+	bat.Process(warm)
+
+	batch := []core.Update{
+		{A: 1, B: 2, Delta: -10}, // clamps 5 → 0
+		{A: 1, B: 2, Delta: 3},   // 0 → 3
+	}
+	for _, u := range batch {
+		seq.Process(u)
+	}
+	bat.ProcessBatch(batch)
+	if w := bat.Graph().Weight(1, 2); w != 3 {
+		t.Fatalf("clamped weight = %g, want 3", w)
+	}
+	if !slices.Equal(bat.OutputDenseKeys(), seq.OutputDenseKeys()) {
+		t.Fatalf("batched keys %v != sequential %v", bat.OutputDenseKeys(), seq.OutputDenseKeys())
+	}
+	if msg := bat.ValidateIndex(); msg != "" {
+		t.Fatalf("index invalid after clamped batch: %s", msg)
+	}
+}
+
+// TestProcessBatchNetsFlappingTransitions drives a batch whose sequential
+// processing reports a became/ceased pair for the same subgraph; the batch
+// must report nothing for it.
+func TestProcessBatchNetsFlappingTransitions(t *testing.T) {
+	mk := func() *core.Engine {
+		e := core.MustNew(core.Config{T: 2, Nmax: 4})
+		e.Process(core.Update{A: 1, B: 2, Delta: 1.9})
+		return e
+	}
+	seq, bat := mk(), mk()
+	batch := []core.Update{
+		{A: 1, B: 2, Delta: 0.5},  // 2.4: becomes output-dense
+		{A: 1, B: 2, Delta: -0.6}, // 1.8: ceases again
+	}
+	var seqEvents int
+	for _, u := range batch {
+		seqEvents += len(seq.Process(u))
+	}
+	if seqEvents != 2 {
+		t.Fatalf("sequential flap produced %d events, want 2 (became+ceased)", seqEvents)
+	}
+	if evs := bat.ProcessBatch(batch); len(evs) != 0 {
+		t.Fatalf("batch reported %d events for a net-zero flap: %v", len(evs), evs)
+	}
+	if !slices.Equal(bat.OutputDenseKeys(), seq.OutputDenseKeys()) {
+		t.Fatalf("final sets diverged: %v vs %v", bat.OutputDenseKeys(), seq.OutputDenseKeys())
+	}
+}
+
+// TestProcessBatchMatchesSequential replays seeded mixed streams through a
+// sequential engine and, in random partitions, through ProcessBatch, checking
+// state equivalence at every batch boundary. Two representation regimes are
+// distinguished:
+//
+//   - exact representation (DisableImplicitTooDense): the explicit index IS
+//     the set of dense subgraphs — a pure function of the graph — so the
+//     batched engine's OutputDenseKeys must deep-equal the sequential
+//     engine's AND brute.EnumerateAll, bit for bit;
+//   - with ImplicitTooDense enabled, which dense subgraphs are explicit vs
+//     implicitly represented through '*' families is order-dependent (a
+//     member promoted by one sequential sub-step may stay implicit under the
+//     coalesced net deltas), so the conformance claim is semantic: the
+//     expanded output-dense set must equal brute.EnumerateAll for both
+//     engines, which share one graph state.
+func TestProcessBatchMatchesSequential(t *testing.T) {
+	configs := []struct {
+		name  string
+		cfg   core.Config
+		exact bool // explicit index is canonical: compare keys verbatim
+	}{
+		{"exact", core.Config{T: 2, Nmax: 4, DisableImplicitTooDense: true}, true},
+		{"exact-maxexplore", core.Config{T: 2, Nmax: 4, DisableImplicitTooDense: true, EnableMaxExplore: true}, true},
+		{"implicit", core.Config{T: 2, Nmax: 4}, false},
+		{"implicit-maxexplore", core.Config{T: 2, Nmax: 4, EnableMaxExplore: true}, false},
+	}
+	for _, tc := range configs {
+		t.Run(tc.name, func(t *testing.T) {
+			for seed := int64(1); seed <= 3; seed++ {
+				updates, err := stream.Drain(stream.MustSynthetic(stream.SynthConfig{
+					Vertices:         10,
+					Updates:          400,
+					Seed:             seed,
+					NegativeFraction: 0.35,
+					MeanDelta:        1.5,
+				}))
+				if err != nil {
+					t.Fatal(err)
+				}
+				seq := core.MustNew(tc.cfg)
+				bat := core.MustNew(tc.cfg)
+				rng := rand.New(rand.NewSource(seed * 101))
+				events := 0
+				for pos := 0; pos < len(updates); {
+					n := rng.Intn(9) // empty batches included
+					if pos+n > len(updates) {
+						n = len(updates) - pos
+					}
+					chunk := updates[pos : pos+n]
+					pos += n
+					for _, u := range chunk {
+						seq.Process(u)
+					}
+					events += len(bat.ProcessBatch(chunk))
+
+					if tc.exact {
+						if got, want := bat.OutputDenseKeys(), seq.OutputDenseKeys(); !slices.Equal(got, want) {
+							t.Fatalf("seed %d after %d updates: batch keys %v != sequential %v", seed, pos, got, want)
+						}
+					}
+					if msg := bat.ValidateIndex(); msg != "" {
+						t.Fatalf("seed %d after %d updates: batch index invalid: %s", seed, pos, msg)
+					}
+					ecfg := bat.Config()
+					oracle := brute.Keys(brute.EnumerateAll(bat.Graph(), brute.Params{Measure: ecfg.Measure, T: ecfg.T, Nmax: ecfg.Nmax}))
+					for name, eng := range map[string]*core.Engine{"batch": bat, "sequential": seq} {
+						var expanded []string
+						for _, s := range eng.OutputDenseExpanded() {
+							expanded = append(expanded, s.Set.Key())
+						}
+						slices.Sort(expanded)
+						if !slices.Equal(expanded, oracle) {
+							t.Fatalf("seed %d after %d updates: %s expanded set %v != oracle %v", seed, pos, name, expanded, oracle)
+						}
+					}
+				}
+				if events == 0 {
+					t.Fatalf("seed %d: batched replay emitted no events; fixture too weak", seed)
+				}
+				if tc.exact {
+					// Dense (not just output-dense) index content must agree
+					// too: later discoveries grow from it.
+					if got, want := bat.DenseCount(), seq.DenseCount(); got != want {
+						t.Fatalf("seed %d: batch indexes %d dense subgraphs, sequential %d", seed, got, want)
+					}
+				}
+			}
+		})
+	}
+}

@@ -110,7 +110,8 @@ type Subgraph struct {
 // Stats aggregates work counters across the lifetime of the engine. All
 // counters are monotonically increasing except the index gauges.
 type Stats struct {
-	Updates         uint64 // updates processed
+	Updates         uint64 // updates processed (batched updates count individually)
+	Batches         uint64 // ProcessBatch calls (one logical tick each)
 	PositiveUpdates uint64
 	NegativeUpdates uint64
 	Explorations    uint64 // explore() invocations that scanned a neighbourhood
@@ -136,6 +137,7 @@ type Stats struct {
 // maximum of any one index.
 func (s *Stats) Add(o Stats) {
 	s.Updates += o.Updates
+	s.Batches += o.Batches
 	s.PositiveUpdates += o.PositiveUpdates
 	s.NegativeUpdates += o.NegativeUpdates
 	s.Explorations += o.Explorations
@@ -202,6 +204,18 @@ type Engine struct {
 	nbufFree    []*graph.NeighborhoodBuf
 	weightsBuf  []float64 // computeMaxExplore's neighbour-weight scratch
 	pairBuf     [2]Vertex // seed-pair scratch
+
+	// Per-batch scratch state (valid during ProcessBatch only; see batch.go).
+	// All containers are engine-owned and reused across batches, so a
+	// steady-state batch — like a steady-state Process — allocates nothing.
+	batching   bool
+	batchNet   map[uint64]float64     // canonical pair key → net applied delta
+	batchKeys  []uint64               // sorted keys of batchNet (phase order)
+	batchDirty []Vertex               // sorted distinct endpoints of changed pairs
+	dirtyInC   []Vertex               // batchDeltaOf's dirty∩C scratch
+	batchSeed  func(a, b Vertex) bool // nil = seed every pair
+	stageIdx   map[string]int         // staged-event dedup: set key → staged index
+	staged     []stagedEvent
 }
 
 // getSetBuf pops a vertex-set scratch buffer off the free list.
@@ -385,6 +399,13 @@ func (e *Engine) ProcessAll(updates []Update) int {
 // observe the scratch directly, which is what keeps the steady-state hot path
 // allocation-free.
 func (e *Engine) emit(kind EventKind, c vset.Set, score float64) {
+	if e.batching {
+		// Batched updates defer emission: transitions are staged, netted
+		// against the pre-batch state, and flushed in canonical order at the
+		// batch boundary (see batch.go).
+		e.stageBatchEvent(kind, c, score)
+		return
+	}
 	e.stats.Events++
 	set := c
 	if e.cloneSets {
@@ -407,6 +428,19 @@ func minEdgeFloor(x float64) float64 {
 		return 0
 	}
 	return x
+}
+
+// scoreBefore returns the score subgraph c carried before the change in
+// flight: score − δ for a single update (exact for every subgraph on an
+// exploration chain, which always contains both endpoints), and score minus
+// c's summed per-pair net deltas for a batch. It feeds the too-dense-before
+// pruning rules, whose justification — "its dense supergraphs were already
+// represented" — is relative to the state before the whole logical tick.
+func (e *Engine) scoreBefore(c vset.Set, score float64) float64 {
+	if e.batching {
+		return score - e.batchDeltaOf(c)
+	}
+	return score - e.delta
 }
 
 // bumpScore adjusts the stored score of a dense node (and its star family, if
@@ -709,10 +743,9 @@ func (e *Engine) exploreStarMembers(star *index.Node, base vset.Set, nBase int) 
 		return
 	}
 	scoreAfter := star.Score()
-	scoreBefore := scoreAfter - e.delta
 	// If members were already too-dense before the update their dense
 	// supergraphs were already representable; nothing new can appear.
-	if e.th.IsTooDense(scoreBefore, nBase+1) {
+	if e.th.IsTooDense(e.scoreBefore(base, scoreAfter), nBase+1) {
 		return
 	}
 	minEdge := minEdgeFloor(e.th.MinDenseScore(nBase+2) - scoreAfter)
@@ -744,7 +777,7 @@ func (e *Engine) explore(c vset.Set, score float64, iter int) {
 	}
 	// A subgraph that was too-dense before the update need not be explored:
 	// its dense supergraphs were stable-dense and are already represented.
-	if e.th.IsTooDense(score-e.delta, n) {
+	if e.th.IsTooDense(e.scoreBefore(c, score), n) {
 		return
 	}
 	if iter > e.maxIter {

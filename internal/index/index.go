@@ -352,6 +352,15 @@ func (ix *Index) walk(n *Node, fn func(*Node) bool) bool {
 	return true
 }
 
+// AppendDense appends a snapshot of every explicitly indexed dense node to
+// dst (reusing its capacity) and returns the extended slice, each node exactly
+// once. It is the whole-index counterpart of AppendDenseContaining — the
+// snapshot a batched update takes once instead of once per touched vertex —
+// and, like it, performs no allocations beyond dst growth.
+func (ix *Index) AppendDense(dst []*Node) []*Node {
+	return appendDenseSubtree(dst, ix.root, Star)
+}
+
 // DenseNodes returns a snapshot slice of all explicitly indexed dense nodes.
 func (ix *Index) DenseNodes() []*Node {
 	out := make([]*Node, 0, ix.denseCount)

@@ -84,24 +84,30 @@ type Stats struct {
 	DedupedEvents uint64
 }
 
-// batch is one broadcast unit: a contiguous run of the update stream.
+// batch is one broadcast unit: a contiguous run of the update stream, or —
+// when coalesced — one whole epoch-style batch that every worker applies via
+// ProcessBatchRouted and the merger sequences as a single logical tick.
 type batch struct {
-	firstSeq uint64
-	updates  []core.Update
+	firstSeq  uint64
+	updates   []core.Update
+	coalesced bool
 }
 
-// workerResult carries one shard's per-update events for one batch.
+// workerResult carries one shard's per-tick events for one batch: one entry
+// per update for micro-batches, a single netted entry for coalesced batches.
 type workerResult struct {
 	shard    int
 	firstSeq uint64
+	updates  int // updates processed (== len(events) unless coalesced)
 	events   [][]core.Event
 	busy     time.Duration
 }
 
 type worker struct {
-	id  int
-	eng *core.Engine
-	in  chan batch
+	id   int
+	eng  *core.Engine
+	in   chan batch
+	seed func(a, b core.Vertex) bool // per-pair seeding for coalesced batches
 }
 
 // ShardedEngine partitions DynDens across K single-threaded core.Engine
@@ -137,7 +143,8 @@ type ShardedEngine struct {
 	// Producer state.
 	produceMu sync.Mutex
 	cur       batch
-	nextSeq   uint64 // sequence number the next accepted update will get
+	nextSeq   uint64 // sequence number the next accepted logical tick will get
+	accepted  uint64 // updates accepted (a coalesced batch counts its length)
 	closed    bool
 
 	// Merge-barrier and merge state.
@@ -184,10 +191,19 @@ func New(cfg Config) (*ShardedEngine, error) {
 		if err != nil {
 			return nil, err
 		}
+		id := i
 		se.workers = append(se.workers, &worker{
 			id:  i,
 			eng: eng,
 			in:  make(chan batch, cfg.QueueDepth),
+			// Per-pair seeding mirrors Router.Primary: the owner of the
+			// canonical (smaller) endpoint seeds the pair's discovery chain.
+			seed: func(a, b core.Vertex) bool {
+				if b < a {
+					a = b
+				}
+				return router.Owner(a) == id
+			},
 		})
 	}
 	for _, w := range se.workers {
@@ -248,8 +264,40 @@ func (se *ShardedEngine) Process(u core.Update) {
 	}
 	se.cur.updates = append(se.cur.updates, u)
 	se.nextSeq++
+	se.accepted++
 	if len(se.cur.updates) >= se.cfg.BatchSize {
 		se.sendLocked()
+	}
+}
+
+// ProcessBatch accepts a whole batch of updates as ONE logical tick: every
+// worker applies it through core.Engine.ProcessBatchRouted (seeding only the
+// pairs it owns) and the merger sequences the combined net events under a
+// single sequence number — so an epoch's decay burst crosses the worker
+// channels and the merge barrier once, not once per pair. Any micro-batched
+// Process updates staged so far are dispatched first, preserving stream
+// order. Like Process it is asynchronous and single-producer; an empty batch
+// still consumes a sequence number (a no-op tick), keeping downstream
+// boundary accounting aligned with the single-engine batch mode.
+func (se *ShardedEngine) ProcessBatch(updates []core.Update) {
+	se.produceMu.Lock()
+	defer se.produceMu.Unlock()
+	if se.closed {
+		panic("shard: ProcessBatch called after Close")
+	}
+	se.sendLocked()
+	b := batch{
+		firstSeq:  se.nextSeq,
+		updates:   append([]core.Update(nil), updates...),
+		coalesced: true,
+	}
+	se.nextSeq++ // one sequence number for the whole batch
+	se.accepted += uint64(len(updates))
+	se.mu.Lock()
+	se.issued++
+	se.mu.Unlock()
+	for _, w := range se.workers {
+		w.in <- b
 	}
 }
 
@@ -318,11 +366,13 @@ func (se *ShardedEngine) Close() error {
 	return nil
 }
 
-// Updates returns the number of updates accepted so far.
+// Updates returns the number of updates accepted so far (the updates inside
+// coalesced batches count individually, though each batch holds one sequence
+// number).
 func (se *ShardedEngine) Updates() uint64 {
 	se.produceMu.Lock()
 	defer se.produceMu.Unlock()
-	return se.nextSeq - 1
+	return se.accepted
 }
 
 // Stats flushes and returns the deployment-wide statistics. The per-engine
@@ -391,7 +441,7 @@ func (se *ShardedEngine) runWorker(w *worker) {
 	defer se.workerWG.Done()
 	for b := range w.in {
 		start := time.Now()
-		// Workers run their engines in slice mode: the per-update event
+		// Workers run their engines in slice mode: the per-tick event
 		// slices cross the results channel to the merge goroutine, so the
 		// sets must be private copies — the engine's CollectorSink declares
 		// RetainsSets and the engine clones each emitted set out of its
@@ -399,13 +449,21 @@ func (se *ShardedEngine) runWorker(w *worker) {
 		// index snapshots) stays in the worker engine's own reusable
 		// buffers, so each shard inherits the allocation-free exploration
 		// path.
-		per := make([][]core.Event, len(b.updates))
-		for i, u := range b.updates {
-			per[i] = w.eng.ProcessRouted(u, se.router.Primary(u) == w.id)
+		var per [][]core.Event
+		if b.coalesced {
+			// Whole-epoch shipping: the batch is one logical tick, so the
+			// netted events land under a single sequence slot.
+			per = [][]core.Event{w.eng.ProcessBatchRouted(b.updates, w.seed)}
+		} else {
+			per = make([][]core.Event, len(b.updates))
+			for i, u := range b.updates {
+				per[i] = w.eng.ProcessRouted(u, se.router.Primary(u) == w.id)
+			}
 		}
 		se.results <- workerResult{
 			shard:    w.id,
 			firstSeq: b.firstSeq,
+			updates:  len(b.updates),
 			events:   per,
 			busy:     time.Since(start),
 		}
@@ -435,12 +493,16 @@ func (se *ShardedEngine) runMerger() {
 	}
 }
 
-// mergeLocked merges one batch: for each update, the events of all shards are
-// collected, canonically ordered, and deduplicated against the tracked
-// output-dense set, so the same subgraph transition discovered by several
-// shards is forwarded exactly once. Within one update every event shares a
-// kind (positive updates only emit Became, negative only Ceased), which makes
-// the dedup outcome independent of shard arrival order.
+// mergeLocked merges one batch: for each logical tick (update, or whole
+// coalesced batch), the events of all shards are collected, canonically
+// ordered, and deduplicated against the tracked output-dense set, so the same
+// subgraph transition discovered by several shards is forwarded exactly once.
+// Within one tick all events for a given subgraph share a kind — for plain
+// updates because positive updates only emit Became and negative only Ceased;
+// for coalesced batches because each worker nets its transitions against the
+// shared final graph state and final-score eviction forbids an evict-readmit
+// flap inside one batch — which makes the dedup outcome independent of shard
+// arrival order.
 func (se *ShardedEngine) mergeLocked(ready []workerResult) {
 	firstSeq := ready[0].firstSeq
 	n := len(ready[0].events)
@@ -448,7 +510,7 @@ func (se *ShardedEngine) mergeLocked(ready []workerResult) {
 		load := &se.loads[res.shard]
 		load.Batches++
 		load.Busy += res.busy
-		load.Updates += uint64(n)
+		load.Updates += uint64(res.updates)
 		for _, evs := range res.events {
 			load.RawEvents += uint64(len(evs))
 		}

@@ -270,3 +270,116 @@ func TestConcurrentObservers(t *testing.T) {
 		t.Fatalf("Updates() = %d, want %d", got, len(updates))
 	}
 }
+
+// batchPartition splits a stream into random batches (sizes 0–8, empty
+// batches included) with a seeded rng.
+func batchPartition(seed int64, updates []core.Update) [][]core.Update {
+	rng := rand.New(rand.NewSource(seed))
+	var batches [][]core.Update
+	for pos := 0; pos <= len(updates); {
+		n := rng.Intn(9)
+		if pos+n > len(updates) {
+			n = len(updates) - pos
+		}
+		batches = append(batches, updates[pos:pos+n])
+		pos += n
+		if n == 0 && pos == len(updates) {
+			break
+		}
+	}
+	return batches
+}
+
+// TestProcessBatchMatchesSingleBatchedEngine: whole-epoch shipping must make
+// the merged per-tick event stream identical to a single engine fed the same
+// coalesced batches — one sequence number per batch, net events canonically
+// deduplicated, result set equal — at K ∈ {1, 2, 4}.
+func TestProcessBatchMatchesSingleBatchedEngine(t *testing.T) {
+	updates := testStream(6, 10, 600, 0.35)
+	batches := batchPartition(61, updates)
+
+	ref := core.MustNew(testEngineCfg)
+	wantPerSeq := make(map[uint64][]string)
+	refEvents := 0
+	for i, b := range batches {
+		evs := ref.ProcessBatch(b)
+		refEvents += len(evs)
+		for _, ev := range evs {
+			seq := uint64(i + 1)
+			wantPerSeq[seq] = append(wantPerSeq[seq], eventKey(ev))
+		}
+	}
+	for _, keys := range wantPerSeq {
+		slices.Sort(keys)
+	}
+	if refEvents == 0 {
+		t.Fatal("batched reference emitted no events; fixture too weak")
+	}
+
+	for _, k := range []int{1, 2, 4} {
+		se := MustNew(Config{Shards: k, Engine: testEngineCfg})
+		var col seqCollector
+		se.SetSeqSink(&col)
+		for _, b := range batches {
+			se.ProcessBatch(b)
+		}
+		se.Flush()
+		gotPerSeq := perSeqKeys(col.snapshot())
+		if len(gotPerSeq) != len(wantPerSeq) {
+			t.Fatalf("K=%d: merged stream covers %d ticks with events, reference %d", k, len(gotPerSeq), len(wantPerSeq))
+		}
+		for seq, want := range wantPerSeq {
+			if !slices.Equal(gotPerSeq[seq], want) {
+				t.Fatalf("K=%d tick %d: merged %v != reference %v", k, seq, gotPerSeq[seq], want)
+			}
+		}
+		if !slices.Equal(se.OutputDenseKeys(), ref.OutputDenseKeys()) {
+			t.Fatalf("K=%d: tracked set %v != reference %v", k, se.OutputDenseKeys(), ref.OutputDenseKeys())
+		}
+		st := se.Stats()
+		if int(st.MergedEvents) != refEvents {
+			t.Fatalf("K=%d: merged %d events, reference emitted %d", k, st.MergedEvents, refEvents)
+		}
+		if k == 1 && st.DedupedEvents != 0 {
+			t.Fatalf("K=1 deduplicated %d events", st.DedupedEvents)
+		}
+		if se.Updates() != uint64(len(updates)) {
+			t.Fatalf("K=%d: Updates() = %d, want %d", k, se.Updates(), len(updates))
+		}
+		se.Close()
+	}
+}
+
+// TestProcessBatchInterleavesWithProcess: mixing per-update Process calls and
+// coalesced batches must keep sequence numbers and the result set coherent
+// (staged micro-batches are dispatched before the coalesced batch).
+func TestProcessBatchInterleavesWithProcess(t *testing.T) {
+	updates := testStream(7, 10, 300, 0.3)
+	ref := core.MustNew(testEngineCfg)
+	se := MustNew(Config{Shards: 2, Engine: testEngineCfg, BatchSize: 16})
+	defer se.Close()
+
+	for pos := 0; pos < len(updates); {
+		if (pos/25)%2 == 0 { // alternate runs of per-update and batched feeding
+			end := min(pos+25, len(updates))
+			for _, u := range updates[pos:end] {
+				ref.Process(u)
+				se.Process(u)
+			}
+			pos = end
+		} else {
+			end := min(pos+25, len(updates))
+			ref.ProcessBatch(updates[pos:end])
+			se.ProcessBatch(updates[pos:end])
+			pos = end
+		}
+	}
+	se.ProcessBatch(nil) // trailing empty tick must be harmless
+	ref.ProcessBatch(nil)
+	if !slices.Equal(se.OutputDenseKeys(), ref.OutputDenseKeys()) {
+		t.Fatalf("mixed feeding diverged: %v != %v", se.OutputDenseKeys(), ref.OutputDenseKeys())
+	}
+	if se.Updates() != uint64(len(updates)) {
+		t.Fatalf("Updates() = %d, want %d", se.Updates(), len(updates))
+	}
+}

@@ -120,8 +120,9 @@ type Aggregator struct {
 	epoch    int64 // current fading epoch (time / EpochLength)
 	lastTime int64
 
-	pending []Update
-	pos     int
+	pending  []Update
+	pos      int
+	decayEnd int // pending[:decayEnd] is the epoch-tick decay burst, the rest the document's pairs
 
 	stats    AggregatorStats
 	decayBuf []pairKey // reusable sorted-key scratch for epoch ticks
@@ -178,6 +179,29 @@ func (g *Aggregator) Next() (Update, error) {
 	return u, nil
 }
 
+// NextBatch implements BatchSource: the queued deltas are handed out in their
+// natural coalescible groups — each epoch tick's decay burst as one batch
+// (Decay true) and each document's positive co-occurrence deltas as another —
+// so a batched replay ships one ProcessBatch per epoch tick or document
+// instead of one Process per pair. Groups follow the same deterministic order
+// Next yields individual updates in; mixing Next and NextBatch on one
+// aggregator hands out the remainder of the current group first.
+func (g *Aggregator) NextBatch() (Batch, error) {
+	for g.pos >= len(g.pending) {
+		if err := g.ingest(); err != nil {
+			return Batch{}, err
+		}
+	}
+	if g.pos < g.decayEnd {
+		b := Batch{Updates: g.pending[g.pos:g.decayEnd], Decay: true}
+		g.pos = g.decayEnd
+		return b, nil
+	}
+	b := Batch{Updates: g.pending[g.pos:]}
+	g.pos = len(g.pending)
+	return b, nil
+}
+
 // ingest consumes one document, queueing its epoch-tick decay (if any) and
 // co-occurrence updates.
 func (g *Aggregator) ingest() (err error) {
@@ -200,6 +224,7 @@ func (g *Aggregator) ingest() (err error) {
 		g.applyDecay(epoch - g.epoch)
 		g.epoch = epoch
 	}
+	g.decayEnd = len(g.pending)
 	g.lastTime = doc.Time
 
 	ents := doc.Entities

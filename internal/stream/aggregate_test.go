@@ -1,7 +1,10 @@
 package stream
 
 import (
+	"errors"
+	"io"
 	"math"
+	"slices"
 	"strings"
 	"testing"
 
@@ -193,6 +196,79 @@ func TestAggregatorValidation(t *testing.T) {
 	for i, cfg := range bad {
 		if _, err := NewAggregator(src, cfg); err == nil {
 			t.Errorf("config %d (%+v) accepted, want error", i, cfg)
+		}
+	}
+}
+
+// TestAggregatorNextBatchGroups pins the aggregator's natural batch
+// structure: each epoch tick's decay burst is one Decay batch, each
+// document's positive co-occurrence deltas another, and the concatenation of
+// all batches equals the per-update Next stream exactly.
+func TestAggregatorNextBatchGroups(t *testing.T) {
+	docs := []Document{
+		{Time: 0, Entities: []vset.Vertex{1, 2, 3}},
+		{Time: 10, Entities: []vset.Vertex{1, 2}},
+		{Time: 60, Entities: []vset.Vertex{2, 3, 4}}, // crosses an epoch boundary: decay burst first
+		{Time: 70, Entities: []vset.Vertex{9}},       // single entity: no pairs, no batch
+		{Time: 130, Entities: []vset.Vertex{1, 4}},   // another boundary
+	}
+	cfg := AggregatorConfig{EpochLength: 50, Decay: 0.5, PruneBelow: -1}
+
+	batched := MustAggregator(NewSliceDocSource(docs), cfg)
+	var batches []Batch
+	var flat []Update
+	for {
+		b, err := batched.NextBatch()
+		if err != nil {
+			if !errors.Is(err, io.EOF) {
+				t.Fatal(err)
+			}
+			break
+		}
+		cp := Batch{Updates: append([]Update(nil), b.Updates...), Decay: b.Decay}
+		batches = append(batches, cp)
+		flat = append(flat, cp.Updates...)
+	}
+
+	sequential := MustAggregator(NewSliceDocSource(docs), cfg)
+	want, err := Drain(sequential)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !slices.Equal(flat, want) {
+		t.Fatalf("batched stream %v != sequential %v", flat, want)
+	}
+
+	// Shape: doc0 pairs, doc1 pairs, decay burst, doc2 pairs, decay burst,
+	// doc4 pairs (the pairless doc contributes no batch).
+	wantShape := []struct {
+		decay bool
+		n     int
+	}{
+		{false, 3}, // {1,2,3}: 3 pairs
+		{false, 1}, // {1,2}
+		{true, 3},  // fade of the 3 tracked pairs
+		{false, 3}, // {2,3,4}
+		{true, 5},  // fade of all 5 tracked pairs (one elapsed epoch)
+		{false, 1}, // {1,4}
+	}
+	if len(batches) != len(wantShape) {
+		t.Fatalf("got %d batches, want %d: %+v", len(batches), len(wantShape), batches)
+	}
+	for i, w := range wantShape {
+		if batches[i].Decay != w.decay || len(batches[i].Updates) != w.n {
+			t.Errorf("batch %d: decay=%v n=%d, want decay=%v n=%d",
+				i, batches[i].Decay, len(batches[i].Updates), w.decay, w.n)
+		}
+	}
+	for _, b := range batches {
+		for _, u := range b.Updates {
+			if b.Decay && u.Delta >= 0 {
+				t.Errorf("decay batch carries non-negative delta %+v", u)
+			}
+			if !b.Decay && u.Delta <= 0 {
+				t.Errorf("document batch carries non-positive delta %+v", u)
+			}
 		}
 	}
 }

@@ -3,6 +3,7 @@ package stream
 import (
 	"bufio"
 	"compress/gzip"
+	"errors"
 	"fmt"
 	"io"
 	"math"
@@ -93,6 +94,13 @@ func (ls *lineScanner) close() error {
 	return err
 }
 
+// BatchMarker is the batch-boundary line of the recorded-stream format: a
+// line consisting of exactly "%%" ends the current batch. Markers let a
+// recorded stream carry its coalescible structure (an epoch burst per batch);
+// the sequential reader (Next) skips them, so marked and unmarked files
+// replay identically update for update.
+const BatchMarker = "%%"
+
 // FileSource reads edge-weight updates from a text stream in the edge-list
 // format `a b delta`, one update per line: two vertex identifiers (integers)
 // and a weight delta (float), separated by whitespace. Blank lines and lines
@@ -100,8 +108,28 @@ func (ls *lineScanner) close() error {
 // header, and gzip-compressed input is decompressed transparently (sniffed by
 // magic number, not filename). This is the recorded-stream format written by
 // `dyndens gen`.
+//
+// FileSource is also a BatchSource: NextBatch groups updates at BatchMarker
+// lines ("%%"), with consecutive markers yielding legal empty batches. A file
+// without markers is one single batch — chunk it with AsBatchSource over a
+// plain reader if fixed-size batches are wanted instead.
 type FileSource struct {
-	ls *lineScanner
+	ls       *lineScanner
+	buf      []Update // NextBatch staging, reused across batches
+	maxBatch int      // NextBatch size cap; 0 = unbounded (see SetMaxBatch)
+	capSplit bool     // last batch ended at the cap, not at a marker
+}
+
+// SetMaxBatch bounds the size of the batches NextBatch yields: a run of more
+// than n updates without a marker is split into n-sized pieces (each its own
+// logical tick). It is the memory guard for batch-replaying recorded streams
+// — a marker-less file is otherwise one whole-file batch buffered in memory.
+// n ≤ 0 removes the cap.
+func (s *FileSource) SetMaxBatch(n int) {
+	if n < 0 {
+		n = 0
+	}
+	s.maxBatch = n
 }
 
 // NewReaderSource wraps an io.Reader in a FileSource. name is used in error
@@ -121,17 +149,66 @@ func OpenFile(path string) (*FileSource, error) {
 	return s, nil
 }
 
-// Next implements UpdateSource.
+// Next implements UpdateSource. Batch-boundary markers are skipped, so the
+// sequential view of a marked stream is simply its updates in order.
 func (s *FileSource) Next() (Update, error) {
-	text, line, err := s.ls.nextLine()
-	if err != nil {
-		return Update{}, err
+	for {
+		text, line, err := s.ls.nextLine()
+		if err != nil {
+			return Update{}, err
+		}
+		if text == BatchMarker {
+			continue
+		}
+		u, err := ParseUpdate(text)
+		if err != nil {
+			return Update{}, fmt.Errorf("%s:%d: %w", s.ls.name, line, err)
+		}
+		return u, nil
 	}
-	u, err := ParseUpdate(text)
-	if err != nil {
-		return Update{}, fmt.Errorf("%s:%d: %w", s.ls.name, line, err)
+}
+
+// NextBatch implements BatchSource: updates up to the next BatchMarker line,
+// the SetMaxBatch cap, or end of input form one batch. The returned slice is
+// reused by the next call.
+func (s *FileSource) NextBatch() (Batch, error) {
+	s.buf = s.buf[:0]
+	// A marker immediately after a cap split closes the batch that was
+	// already returned, so it is absorbed rather than reported as a spurious
+	// empty batch (a SECOND consecutive marker is a genuine empty batch).
+	absorbMarker := s.capSplit
+	s.capSplit = false
+	consumed := false
+	for {
+		if s.maxBatch > 0 && len(s.buf) == s.maxBatch {
+			s.capSplit = true
+			return Batch{Updates: s.buf}, nil
+		}
+		text, line, err := s.ls.nextLine()
+		if err != nil {
+			if errors.Is(err, io.EOF) && consumed {
+				return Batch{Updates: s.buf}, nil
+			}
+			return Batch{}, err
+		}
+		if text == BatchMarker {
+			if absorbMarker && len(s.buf) == 0 {
+				// Belongs to the previous (cap-split) batch: absorbing it
+				// must not count as consuming input for THIS batch, or EOF
+				// right after it would yield a phantom empty batch.
+				absorbMarker = false
+				continue
+			}
+			return Batch{Updates: s.buf}, nil
+		}
+		consumed = true
+		absorbMarker = false
+		u, perr := ParseUpdate(text)
+		if perr != nil {
+			return Batch{}, fmt.Errorf("%s:%d: %w", s.ls.name, line, perr)
+		}
+		s.buf = append(s.buf, u)
 	}
-	return u, nil
 }
 
 // Close releases the underlying file and gzip reader, if any.

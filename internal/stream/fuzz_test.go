@@ -38,6 +38,19 @@ func FuzzFileSource(f *testing.F) {
 		strings.Repeat("7 8 1.5\n", 50),
 		"1_0 2 0.5\n",
 		"+1 +2 +0.5\n",
+		// Batch boundaries: empty batches (leading, consecutive, trailing),
+		// a single-pair batch, duplicate pairs within one batch, markers with
+		// surrounding whitespace, and marker-like lines that must NOT parse
+		// as boundaries or updates.
+		"%%\n",
+		"%%\n%%\n%%\n",
+		"1 2 0.5\n%%\n",
+		"%%\n3 4 1.5\n%%\n%%\n5 6 -1\n",
+		"1 2 0.5\n1 2 0.5\n1 2 -0.25\n%%\n1 2 1\n",
+		" %% \n7 8 1\n",
+		"%% trailing garbage\n",
+		"%%%%\n",
+		"1 2 0.5 %%\n",
 	}
 	for _, s := range seeds {
 		f.Add([]byte(s))
@@ -48,18 +61,21 @@ func FuzzFileSource(f *testing.F) {
 	f.Add(gzipBytes(f, "1 2 0.5\n2 3 -1.25\n"))
 	f.Add(gzipBytes(f, "# comment\n\n10 11 3\n"))
 	f.Add(gzipBytes(f, "1 2 NaN\n"))
+	f.Add(gzipBytes(f, "1 2 0.5\n%%\n3 4 1\n%%\n"))
 	f.Add([]byte{0x1f, 0x8b})
 	f.Add([]byte{0x1f, 0x8b, 0x08, 0x00, 0xde, 0xad, 0xbe, 0xef})
 	f.Add(gzipBytes(f, "1 2 0.5\n")[:8])
 	f.Fuzz(func(t *testing.T, data []byte) {
 		src := NewReaderSource("fuzz", strings.NewReader(string(data)))
 		var accepted []Update
+		cleanEOF := false
 		for len(accepted) < 10000 {
 			u, err := src.Next()
 			if err != nil {
 				// io.EOF ends the stream; any other error must identify the
 				// source. Either way the source must not panic.
-				if !errors.Is(err, io.EOF) && !strings.Contains(err.Error(), "fuzz") {
+				cleanEOF = errors.Is(err, io.EOF)
+				if !cleanEOF && !strings.Contains(err.Error(), "fuzz") {
 					t.Fatalf("error does not identify the source: %v", err)
 				}
 				break
@@ -72,6 +88,42 @@ func FuzzFileSource(f *testing.F) {
 			}
 			accepted = append(accepted, u)
 		}
+
+		// Batch mode must accept exactly the same updates in the same order:
+		// "%%" lines only group, never add, drop, or reorder. On malformed
+		// input the batch reader stops at the same bad line, so its accepted
+		// updates are a prefix of the sequential reader's (it withholds the
+		// partial batch the error interrupts). When the sequential loop above
+		// stopped at its 10000-update cap rather than at end of input, the
+		// batch reader may legitimately read further (a marker-less file is
+		// one batch), so only the common prefix is compared.
+		capped := len(accepted) >= 10000
+		batchSrc := NewReaderSource("fuzz", strings.NewReader(string(data)))
+		var batched []Update
+		batchErr := error(nil)
+		for len(batched) <= len(accepted) {
+			b, err := batchSrc.NextBatch()
+			if err != nil {
+				batchErr = err
+				if !errors.Is(err, io.EOF) && !strings.Contains(err.Error(), "fuzz") {
+					t.Fatalf("batch error does not identify the source: %v", err)
+				}
+				break
+			}
+			batched = append(batched, b.Updates...)
+		}
+		if !capped && len(batched) > len(accepted) {
+			t.Fatalf("batch mode accepted %d updates, sequential %d", len(batched), len(accepted))
+		}
+		for i := 0; i < min(len(batched), len(accepted)); i++ {
+			if batched[i] != accepted[i] {
+				t.Fatalf("batch mode diverges at update %d: %+v != %+v", i, batched[i], accepted[i])
+			}
+		}
+		if cleanEOF && !capped && errors.Is(batchErr, io.EOF) && len(batched) != len(accepted) {
+			t.Fatalf("batch mode lost updates on clean input: %d != %d", len(batched), len(accepted))
+		}
+
 		if len(accepted) == 0 {
 			return
 		}

@@ -36,10 +36,14 @@ type ShardLoadStats struct {
 // ShardReplayStats aggregates the work performed by a ShardReplay.
 type ShardReplayStats struct {
 	Shards  int
-	Updates int           // updates pulled from the source and accepted
-	Events  uint64        // merged (deduplicated) events emitted downstream
-	Batches int           // read batches fed to the engine
-	Wall    time.Duration // wall clock from the first update to the final flush
+	Updates int    // updates pulled from the source and accepted
+	Batches int    // read batches fed to the engine
+	Events  uint64 // merged (deduplicated) events emitted downstream
+	// Ticks counts merger sequence slots: one per update in per-update mode,
+	// one per coalesced batch in batch mode — the final sequence number a
+	// SeqSink consumer (story tracker) should be closed with.
+	Ticks int
+	Wall  time.Duration // wall clock from the first update to the final flush
 
 	PerShard []ShardLoadStats
 }
@@ -68,8 +72,8 @@ func (s ShardReplayStats) BusyTotal() time.Duration {
 // String formats the aggregate line followed by one line per shard.
 func (s ShardReplayStats) String() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "shard-replay{shards=%d updates=%d events=%d batches=%d wall=%v throughput=%.0f upd/s busy=%v (%.2fx)}",
-		s.Shards, s.Updates, s.Events, s.Batches, s.Wall.Round(time.Microsecond),
+	fmt.Fprintf(&b, "shard-replay{shards=%d updates=%d ticks=%d events=%d batches=%d wall=%v throughput=%.0f upd/s busy=%v (%.2fx)}",
+		s.Shards, s.Updates, s.Ticks, s.Events, s.Batches, s.Wall.Round(time.Microsecond),
 		s.UpdatesPerSecond(), s.BusyTotal().Round(time.Microsecond),
 		float64(s.BusyTotal())/float64(max(int64(s.Wall), 1)))
 	for _, l := range s.PerShard {
@@ -120,6 +124,7 @@ func (r *ShardReplay) Batch(n int) (int, error) {
 		}
 		r.se.ProcessAll(r.buf)
 		r.stats.Updates += len(r.buf)
+		r.stats.Ticks += len(r.buf) // one merger sequence slot per update
 		r.stats.Batches++
 	}
 	if srcErr != nil {
@@ -166,6 +171,37 @@ func (r *ShardReplay) Run(batchSize int) (ShardReplayStats, error) {
 				return r.Stats(), nil
 			}
 			return r.Stats(), err
+		}
+	}
+}
+
+// RunBatches drains the source batch by batch (the source's own batches when
+// it implements BatchSource, fixed chunks of readBatch updates otherwise),
+// shipping each whole batch to the sharded engine as one coalesced unit —
+// one worker-channel broadcast and one merger sequence slot per batch instead
+// of per update — then flushes and returns the final statistics.
+func (r *ShardReplay) RunBatches(readBatch int) (ShardReplayStats, error) {
+	if r.done {
+		return r.Stats(), nil
+	}
+	bs := AsBatchSource(r.src, readBatch)
+	for {
+		b, err := bs.NextBatch()
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				r.done = true
+				return r.Stats(), nil
+			}
+			return r.Stats(), err
+		}
+		if r.start.IsZero() {
+			r.start = time.Now()
+		}
+		r.se.ProcessBatch(b.Updates)
+		r.stats.Updates += len(b.Updates)
+		r.stats.Ticks++ // empty batches are still boundary ticks
+		if len(b.Updates) > 0 {
+			r.stats.Batches++
 		}
 	}
 }

@@ -29,15 +29,44 @@ type Replay struct {
 	buf         []Update // per-batch staging so source I/O stays untimed
 }
 
+// SegmentStats is the throughput accounting of one batch-provenance segment
+// of a replay (epoch decay bursts vs everything else). An epoch tick is N
+// updates but one logical batch; reporting both keeps throughput numbers
+// comparable between the sequential and coalesced modes.
+type SegmentStats struct {
+	Updates int           // updates in this segment
+	Batches int           // source batches in this segment
+	Elapsed time.Duration // engine time spent in this segment
+}
+
+// UpdatesPerSecond returns the segment throughput (0 before any work).
+func (s SegmentStats) UpdatesPerSecond() float64 {
+	if s.Elapsed <= 0 {
+		return 0
+	}
+	return float64(s.Updates) / s.Elapsed.Seconds()
+}
+
 // ReplayStats aggregates the work performed by a Replay.
 type ReplayStats struct {
-	Updates int           // updates pulled from the source and processed
-	Events  uint64        // output events emitted by the engine during the replay
-	Batches int           // Batch calls that processed at least one update
-	Elapsed time.Duration // total time spent inside Engine.Process batches
+	Updates int    // updates pulled from the source and processed
+	Events  uint64 // output events emitted by the engine during the replay
+	Batches int    // read/driver batches that processed at least one update
+	// Ticks counts logical engine boundaries: one per Process call in
+	// sequential mode, one per coalesced ProcessBatch call in batch mode. A
+	// boundary-aware sink (the story tracker) sees exactly Ticks EndUpdates.
+	Ticks   int
+	Elapsed time.Duration // total time spent inside the engine
 
 	MinBatchLatency time.Duration // fastest non-empty batch
 	MaxBatchLatency time.Duration // slowest non-empty batch
+
+	// DecaySeg and OtherSeg split the replay by batch provenance when the
+	// source exposes natural batches (RunBatches over a BatchSource): epoch
+	// fading bursts vs document/positive batches. Both are zero for the
+	// plain Run driver, whose sources carry no provenance.
+	DecaySeg SegmentStats
+	OtherSeg SegmentStats
 }
 
 // UpdatesPerSecond returns the replay throughput (0 before any work).
@@ -57,11 +86,19 @@ func (s ReplayStats) MeanUpdateLatency() time.Duration {
 }
 
 // String formats the throughput/latency summary printed by the CLI driver.
+// Segment lines appear only when the replay had batch provenance to split on.
 func (s ReplayStats) String() string {
-	return fmt.Sprintf(
-		"replay{updates=%d events=%d batches=%d elapsed=%v throughput=%.0f upd/s mean=%v batch=[%v..%v]}",
-		s.Updates, s.Events, s.Batches, s.Elapsed.Round(time.Microsecond),
+	out := fmt.Sprintf(
+		"replay{updates=%d ticks=%d events=%d batches=%d elapsed=%v throughput=%.0f upd/s mean=%v batch=[%v..%v]}",
+		s.Updates, s.Ticks, s.Events, s.Batches, s.Elapsed.Round(time.Microsecond),
 		s.UpdatesPerSecond(), s.MeanUpdateLatency(), s.MinBatchLatency, s.MaxBatchLatency)
+	if s.DecaySeg.Batches > 0 || s.OtherSeg.Batches > 0 {
+		out += fmt.Sprintf(
+			"\nsegments{decay: %d upd / %d batches / %.0f upd/s | other: %d upd / %d batches / %.0f upd/s}",
+			s.DecaySeg.Updates, s.DecaySeg.Batches, s.DecaySeg.UpdatesPerSecond(),
+			s.OtherSeg.Updates, s.OtherSeg.Batches, s.OtherSeg.UpdatesPerSecond())
+	}
+	return out
 }
 
 // NewReplay wires src → eng → sink, installing sink on the engine. A nil
@@ -132,6 +169,7 @@ func (r *Replay) Batch(n int) (int, error) {
 	elapsed := time.Since(start)
 	if processed > 0 {
 		r.stats.Updates += processed
+		r.stats.Ticks += processed // one engine boundary per Process call
 		r.stats.Batches++
 		r.stats.Elapsed += elapsed
 		if r.stats.MinBatchLatency == 0 || elapsed < r.stats.MinBatchLatency {
@@ -162,6 +200,69 @@ func (r *Replay) Run(batchSize int) (ReplayStats, error) {
 				return r.Stats(), nil
 			}
 			return r.Stats(), err
+		}
+	}
+}
+
+// RunBatches drains the source batch by batch — the source's own batches when
+// it implements BatchSource (the aggregator's epoch bursts and per-document
+// deltas, a marker-delimited file), fixed chunks of readBatch updates
+// otherwise — and returns the final statistics, with the decay/other segment
+// split populated from batch provenance.
+//
+// With coalesce true each batch goes through Engine.ProcessBatch: one logical
+// tick, net events at the batch boundary. With coalesce false the batch's
+// updates are processed one Process call at a time but timed as a group,
+// which is the apples-to-apples sequential baseline for the batched mode (the
+// same grouping, the same timer granularity, per-update semantics).
+func (r *Replay) RunBatches(readBatch int, coalesce bool) (ReplayStats, error) {
+	if r.done {
+		return r.Stats(), nil
+	}
+	bs := AsBatchSource(r.src, readBatch)
+	for {
+		b, err := bs.NextBatch()
+		if err != nil {
+			r.done = errors.Is(err, io.EOF)
+			if r.done {
+				return r.Stats(), nil
+			}
+			return r.Stats(), err
+		}
+		start := time.Now()
+		if coalesce {
+			r.eng.ProcessBatch(b.Updates)
+		} else {
+			for _, u := range b.Updates {
+				r.eng.Process(u)
+			}
+		}
+		elapsed := time.Since(start)
+		r.stats.Updates += len(b.Updates)
+		if coalesce {
+			r.stats.Ticks++ // empty batches are still boundary ticks
+		} else {
+			r.stats.Ticks += len(b.Updates)
+		}
+		r.stats.Elapsed += elapsed
+		seg := &r.stats.OtherSeg
+		if b.Decay {
+			seg = &r.stats.DecaySeg
+		}
+		seg.Updates += len(b.Updates)
+		seg.Elapsed += elapsed
+		if len(b.Updates) > 0 {
+			// Batches counts batches that processed at least one update, like
+			// the sequential driver; empty no-op ticks would skew per-batch
+			// throughput derived from the stats.
+			r.stats.Batches++
+			seg.Batches++
+			if r.stats.MinBatchLatency == 0 || elapsed < r.stats.MinBatchLatency {
+				r.stats.MinBatchLatency = elapsed
+			}
+			if elapsed > r.stats.MaxBatchLatency {
+				r.stats.MaxBatchLatency = elapsed
+			}
 		}
 	}
 }

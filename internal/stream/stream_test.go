@@ -289,3 +289,50 @@ func TestReplayRunMatchesSliceModeEngine(t *testing.T) {
 		t.Fatalf("output-dense sets differ: %v vs %v", gotKeys, refKeys)
 	}
 }
+
+// TestFileSourceMaxBatchMarkerInterplay pins SetMaxBatch's split semantics: a
+// marker immediately after a cap split closes the already-returned batch (no
+// spurious empty tick), while a second consecutive marker is a genuine empty
+// batch, and EOF after a cap split ends the stream cleanly.
+func TestFileSourceMaxBatchMarkerInterplay(t *testing.T) {
+	read := func(input string, cap int) (sizes []int) {
+		src := NewReaderSource("test", strings.NewReader(input))
+		src.SetMaxBatch(cap)
+		for {
+			b, err := src.NextBatch()
+			if err != nil {
+				if !errors.Is(err, io.EOF) {
+					t.Fatal(err)
+				}
+				return sizes
+			}
+			sizes = append(sizes, len(b.Updates))
+		}
+	}
+	cases := []struct {
+		input string
+		cap   int
+		want  []int
+	}{
+		// Cap fires exactly at the marker: 2 batches, not 2 + empty.
+		{"1 2 1\n3 4 1\n%%\n5 6 1\n", 2, []int{2, 1}},
+		// Second consecutive marker after a cap split is a real empty batch.
+		{"1 2 1\n3 4 1\n%%\n%%\n5 6 1\n", 2, []int{2, 0, 1}},
+		// Cap split mid-run: the remainder continues in the next batch.
+		{"1 2 1\n3 4 1\n5 6 1\n", 2, []int{2, 1}},
+		// EOF right after a cap split: no phantom trailing batch.
+		{"1 2 1\n3 4 1\n", 2, []int{2}},
+		// EOF right after an absorbed marker: also no phantom empty batch.
+		{"1 2 1\n3 4 1\n%%\n", 2, []int{2}},
+		// Trailing marker without a cap split still closes a final batch
+		// exactly as before (marker-terminated file, one batch).
+		{"1 2 1\n3 4 1\n%%\n", 0, []int{2}},
+		// Uncapped: marker semantics unchanged.
+		{"1 2 1\n3 4 1\n%%\n%%\n5 6 1\n", 0, []int{2, 0, 1}},
+	}
+	for _, tc := range cases {
+		if got := read(tc.input, tc.cap); !slices.Equal(got, tc.want) {
+			t.Errorf("input %q cap %d: batch sizes %v, want %v", tc.input, tc.cap, got, tc.want)
+		}
+	}
+}

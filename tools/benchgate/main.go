@@ -11,10 +11,18 @@
 // Usage:
 //
 //	benchgate -base base.txt -head head.txt [-max-regress 0.15]
+//	benchgate -snapshot BENCH_PR5.json [-min-decay-speedup 2.0]
+//
+// The second form validates a committed `dyndens bench -json` perf-trajectory
+// snapshot instead of comparing two live runs: it requires the snapshot's
+// batch_compare block to record at least the given epoch-coalescing speedup
+// on the decay-burst segment, so a regenerated snapshot that no longer meets
+// the repo's claim fails CI deterministically (no benchmark noise involved).
 package main
 
 import (
 	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -64,11 +72,51 @@ func median(xs []float64) float64 {
 	return (s[n/2-1] + s[n/2]) / 2
 }
 
+// snapshot is the subset of the `dyndens bench -json` format the gate reads.
+type snapshot struct {
+	Batched      bool `json:"batched"`
+	BatchCompare *struct {
+		DecaySpeedup   float64 `json:"decay_speedup"`
+		OverallSpeedup float64 `json:"overall_speedup"`
+	} `json:"batch_compare"`
+}
+
+// gateSnapshot validates a committed bench snapshot's batch_compare block.
+func gateSnapshot(path string, minDecaySpeedup float64) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(2)
+	}
+	var s snapshot
+	if err := json.Unmarshal(data, &s); err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: %s: %v\n", path, err)
+		os.Exit(2)
+	}
+	if !s.Batched || s.BatchCompare == nil {
+		fmt.Fprintf(os.Stderr, "benchgate: %s carries no batch_compare block (not a -batch snapshot)\n", path)
+		os.Exit(1)
+	}
+	fmt.Printf("%s: decay-segment speedup %.2fx (overall %.2fx), floor %.2fx\n",
+		path, s.BatchCompare.DecaySpeedup, s.BatchCompare.OverallSpeedup, minDecaySpeedup)
+	if s.BatchCompare.DecaySpeedup < minDecaySpeedup {
+		fmt.Fprintf(os.Stderr, "benchgate: decay-segment speedup %.2fx below the %.2fx floor\n",
+			s.BatchCompare.DecaySpeedup, minDecaySpeedup)
+		os.Exit(1)
+	}
+}
+
 func main() {
 	basePath := flag.String("base", "", "bench output of the base revision")
 	headPath := flag.String("head", "", "bench output of the head revision")
 	maxRegress := flag.Float64("max-regress", 0.15, "maximum allowed ns/op regression as a fraction (0.15 = +15%)")
+	snapshotPath := flag.String("snapshot", "", "validate a committed `dyndens bench -json` snapshot instead of comparing two bench runs")
+	minDecaySpeedup := flag.Float64("min-decay-speedup", 2.0, "with -snapshot: minimum required batched-vs-sequential speedup on the decay segment")
 	flag.Parse()
+	if *snapshotPath != "" {
+		gateSnapshot(*snapshotPath, *minDecaySpeedup)
+		return
+	}
 	if *basePath == "" || *headPath == "" {
 		fmt.Fprintln(os.Stderr, "benchgate: -base and -head are required")
 		os.Exit(2)
