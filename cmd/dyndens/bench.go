@@ -6,6 +6,9 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
+	"strconv"
+	"strings"
 	"time"
 
 	"dyndens/internal/core"
@@ -23,6 +26,11 @@ type benchResult struct {
 	GoVersion string `json:"go_version"`
 	GOOS      string `json:"goos"`
 	GOARCH    string `json:"goarch"`
+	// NumCPU contextualises every parallel number in the snapshot: on a
+	// single-core runner K workers time-slice one core, so sharded
+	// throughput cannot beat the single engine there and the meaningful
+	// scaling ratio is scoped vs mirror at equal K.
+	NumCPU int `json:"num_cpu"`
 
 	Workload struct {
 		Vertices         int     `json:"vertices"`
@@ -81,9 +89,27 @@ type benchResult struct {
 		MaxIndexNodes int    `json:"max_index_nodes"`
 	} `json:"engine"`
 
+	// Overlap is the sharded delivery policy ("scoped" or "mirror"; empty for
+	// single-threaded runs). MeanDeliveryFraction is the mean per-shard
+	// fraction of work units that needed full processing — 1.0 under mirror
+	// broadcast, ideally near 1/K plus the interest overlap under scoped
+	// delivery. ParallelEfficiency is busy / (wall · K).
+	Overlap              string  `json:"overlap,omitempty"`
+	MeanDeliveryFraction float64 `json:"mean_delivery_fraction,omitempty"`
+	ParallelEfficiency   float64 `json:"parallel_efficiency,omitempty"`
+
 	// PerShardBusyNs is the per-worker busy time for sharded runs (empty for
-	// the single-threaded path).
-	PerShardBusyNs []int64 `json:"per_shard_busy_ns,omitempty"`
+	// the single-threaded path). PerShardDelivered/PerShardApplied partition
+	// each worker's work units into fully-processed vs weight-apply-only
+	// (see shard.ShardLoad; Applied is always 0 under mirror delivery).
+	PerShardBusyNs    []int64  `json:"per_shard_busy_ns,omitempty"`
+	PerShardDelivered []uint64 `json:"per_shard_delivered,omitempty"`
+	PerShardApplied   []uint64 `json:"per_shard_applied,omitempty"`
+
+	// Scaling is present for -scale runs: the same workload replayed at each
+	// requested shard count (sharded counts in both delivery modes), plus the
+	// headline ratios the CI gate (tools/benchgate -snapshot) consumes.
+	Scaling *scalingResult `json:"scaling,omitempty"`
 
 	// DocPipeline is present for -docs runs: the document→story pipeline's
 	// aggregation and story-lifecycle counters.
@@ -147,6 +173,36 @@ func speedup(batched, sequential float64) float64 {
 	return batched / sequential
 }
 
+// scaleEntry is one (shards, overlap) point of a -scale run. The event
+// counters are included so the curve doubles as a conformance record: every
+// point of a run replays the identical workload, so became/ceased/net must
+// agree across the whole curve (runBenchScale enforces this).
+type scaleEntry struct {
+	Shards               int      `json:"shards"`
+	Overlap              string   `json:"overlap,omitempty"` // empty for the single-engine point
+	Batched              bool     `json:"batched,omitempty"` // epoch-coalesced replay (bench -scale -batch)
+	UpdatesPerSecond     float64  `json:"updates_per_second"`
+	ElapsedNs            int64    `json:"elapsed_ns"`
+	MeanDeliveryFraction float64  `json:"mean_delivery_fraction,omitempty"`
+	ParallelEfficiency   float64  `json:"parallel_efficiency,omitempty"`
+	PerShardBusyNs       []int64  `json:"per_shard_busy_ns,omitempty"`
+	PerShardDelivered    []uint64 `json:"per_shard_delivered,omitempty"`
+	PerShardApplied      []uint64 `json:"per_shard_applied,omitempty"`
+	Became               uint64   `json:"became"`
+	Ceased               uint64   `json:"ceased"`
+	NetOutputDense       int      `json:"net_output_dense"`
+}
+
+// scalingResult is the -scale block of benchResult. The ratio fields are the
+// gate headlines: scoped K=4 vs mirror K=4 is the delivery-policy win at
+// equal parallelism, scoped K=4 vs single the end-to-end parallel win; both
+// are 0 when the corresponding points were not part of the -scale list.
+type scalingResult struct {
+	Entries            []scaleEntry `json:"entries"`
+	ScopedK4VsMirrorK4 float64      `json:"scoped_k4_vs_mirror_k4,omitempty"`
+	ScopedK4VsSingle   float64      `json:"scoped_k4_vs_single,omitempty"`
+}
+
 // docPipelineResult is the -docs mode extension of benchResult. The config
 // fields make the snapshot self-describing: together with the shared
 // workload/config blocks they are exactly the flags that reproduce the run
@@ -202,6 +258,7 @@ func (r *benchResult) fillCommon(synthCfg stream.SynthConfig, engCfg core.Config
 	r.GoVersion = runtime.Version()
 	r.GOOS = runtime.GOOS
 	r.GOARCH = runtime.GOARCH
+	r.NumCPU = runtime.NumCPU()
 	r.Workload.Vertices = synthCfg.Vertices
 	r.Workload.Updates = synthCfg.Updates
 	r.Workload.Seed = synthCfg.Seed
@@ -300,7 +357,10 @@ func cmdBench(args []string) error {
 	readBatch := fs.Int("read-batch", 256, "micro-batch size for the replay driver (with -batch -docs the aggregator's own epoch/document batches are never split)")
 	batchMode := fs.Bool("batch", false, "epoch coalescing: drive the engine through ProcessBatch; single-threaded runs also replay the sequential baseline and report the batched-vs-sequential comparison")
 	shards := fs.Int("shards", 0, "partition the engine across K workers (0 = single-threaded)")
+	newOverlap := overlapFlag(fs)
+	scaleList := fs.String("scale", "", "comma-separated shard `counts` (0 = single-threaded, must be included); replay the identical workload at each count — sharded counts in both scoped and mirror delivery — and emit the scaling curve; combine with -batch for epoch-coalesced points (incompatible with -shards/-docs)")
 	jsonOut := fs.String("json", "", "also write a machine-readable result to this `path` (- for stdout)")
+	cpuProfile := fs.String("cpuprofile", "", "write a pprof CPU profile of the replay to this `path`")
 	docsMode := fs.Bool("docs", false, "bench the document→story pipeline: -vertices are background entities, -updates documents, -skew the background Zipf exponent (-neg/-mean unused)")
 	docStories := fs.Int("doc-stories", 3, "planted stories (with -docs)")
 	docStorySize := fs.Int("doc-story-size", 4, "entities per planted story (with -docs)")
@@ -389,6 +449,33 @@ func cmdBench(args []string) error {
 	if *shards < 0 {
 		return fmt.Errorf("bench: -shards must be ≥ 0, got %d", *shards)
 	}
+	// Validate even for the single-threaded path, where the value is unused —
+	// a typo'd -overlap should fail loudly regardless of -shards.
+	if _, err := newOverlap(); err != nil {
+		return err
+	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+
+	if *scaleList != "" {
+		if *shards > 0 || *docsMode {
+			return fmt.Errorf("bench: -scale is incompatible with -shards and -docs")
+		}
+		ks, err := parseScaleList(*scaleList)
+		if err != nil {
+			return err
+		}
+		return runBenchScale(ks, synthCfg, engCfg, *readBatch, *batchMode, *jsonOut)
+	}
 
 	header := func(cfg core.Config, extra string) {
 		fmt.Printf("bench: %d vertices, %d updates (seed=%d skew=%g neg=%g mean=%g) | %s T=%g Nmax=%d δit=%.4g batch=%d%s\n",
@@ -409,6 +496,10 @@ func cmdBench(args []string) error {
 	}
 
 	if *shards > 0 {
+		overlap, err := newOverlap()
+		if err != nil {
+			return err
+		}
 		grace := uint64(graceUpdates)
 		if *batchMode {
 			grace = batchedGrace
@@ -417,7 +508,7 @@ func cmdBench(args []string) error {
 		if err != nil {
 			return err
 		}
-		se, err := shard.New(shard.Config{Shards: *shards, Engine: engCfg})
+		se, err := shard.New(shard.Config{Shards: *shards, Engine: engCfg, Overlap: overlap})
 		if err != nil {
 			return err
 		}
@@ -439,7 +530,7 @@ func cmdBench(args []string) error {
 		}
 		stats := se.Stats()
 		allocs, bytes := mem.perUpdate(st.Updates)
-		extra := fmt.Sprintf(" shards=%d", *shards)
+		extra := fmt.Sprintf(" shards=%d overlap=%s", *shards, overlap)
 		if *batchMode {
 			extra += " batched"
 		}
@@ -463,8 +554,13 @@ func cmdBench(args []string) error {
 			result.Events.Ceased = sink.Ceased
 			result.Events.NetOutputDense = se.OutputDenseCount()
 			result.Events.Deduped = stats.DedupedEvents
+			result.Overlap = overlap.String()
+			result.MeanDeliveryFraction = st.MeanDeliveryFraction()
+			result.ParallelEfficiency = st.ParallelEfficiency()
 			for _, load := range stats.Loads {
 				result.PerShardBusyNs = append(result.PerShardBusyNs, load.Busy.Nanoseconds())
+				result.PerShardDelivered = append(result.PerShardDelivered, load.Delivered)
+				result.PerShardApplied = append(result.PerShardApplied, load.Applied)
 			}
 			return finishJSON(agg, tracker)
 		}
@@ -580,6 +676,183 @@ func cmdBench(args []string) error {
 		return finishJSON(measured.agg, measured.tracker)
 	}
 	return nil
+}
+
+// parseScaleList parses the -scale flag: a comma-separated list of shard
+// counts with duplicates dropped. 0 (the single-engine reference every ratio
+// is anchored to) must be present.
+func parseScaleList(s string) ([]int, error) {
+	var ks []int
+	seen := make(map[int]bool)
+	for _, tok := range strings.Split(s, ",") {
+		tok = strings.TrimSpace(tok)
+		if tok == "" {
+			continue
+		}
+		k, err := strconv.Atoi(tok)
+		if err != nil || k < 0 {
+			return nil, fmt.Errorf("bench: bad -scale entry %q (want comma-separated shard counts ≥ 0)", tok)
+		}
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		ks = append(ks, k)
+	}
+	if len(ks) == 0 {
+		return nil, fmt.Errorf("bench: -scale list is empty")
+	}
+	if !seen[0] {
+		return nil, fmt.Errorf("bench: -scale list must include 0 (the single-engine reference point)")
+	}
+	return ks, nil
+}
+
+// runBenchScale replays the identical synthetic workload once per requested
+// point — the single engine for count 0, the sharded engine in both scoped
+// and mirror delivery for each count > 0 — printing one line per point and
+// emitting the whole curve in the JSON Scaling block. With batched set every
+// point is driven through epoch coalescing (ProcessBatch / whole-epoch shard
+// shipping) instead of per-update delivery. The event counters of every
+// point must agree (the delivery policy is an optimization, not an
+// approximation); a mismatch fails the run.
+func runBenchScale(ks []int, synthCfg stream.SynthConfig, engCfg core.Config, readBatch int, batched bool, jsonOut string) error {
+	runPoint := func(k int, overlap shard.Overlap) (scaleEntry, core.Stats, error) {
+		e := scaleEntry{Shards: k, Batched: batched}
+		src, err := stream.NewSynthetic(synthCfg)
+		if err != nil {
+			return e, core.Stats{}, err
+		}
+		sink := &core.CountingSink{}
+		if k == 0 {
+			eng, err := core.New(engCfg)
+			if err != nil {
+				return e, core.Stats{}, err
+			}
+			r := stream.NewReplay(src, eng, sink)
+			var st stream.ReplayStats
+			if batched {
+				st, err = r.RunBatches(readBatch, true)
+			} else {
+				st, err = r.Run(readBatch)
+			}
+			if err != nil {
+				return e, core.Stats{}, err
+			}
+			e.UpdatesPerSecond = st.UpdatesPerSecond()
+			e.ElapsedNs = st.Elapsed.Nanoseconds()
+			e.Became, e.Ceased, e.NetOutputDense = sink.Became, sink.Ceased, eng.OutputDenseCount()
+			return e, eng.Stats(), nil
+		}
+		e.Overlap = overlap.String()
+		se, err := shard.New(shard.Config{Shards: k, Engine: engCfg, Overlap: overlap})
+		if err != nil {
+			return e, core.Stats{}, err
+		}
+		defer se.Close()
+		r := stream.NewShardReplay(src, se, sink)
+		var st stream.ShardReplayStats
+		if batched {
+			st, err = r.RunBatches(readBatch)
+		} else {
+			st, err = r.Run(readBatch)
+		}
+		if err != nil {
+			return e, core.Stats{}, err
+		}
+		stats := se.Stats()
+		e.UpdatesPerSecond = st.UpdatesPerSecond()
+		e.ElapsedNs = st.Wall.Nanoseconds()
+		e.MeanDeliveryFraction = st.MeanDeliveryFraction()
+		e.ParallelEfficiency = st.ParallelEfficiency()
+		for _, load := range stats.Loads {
+			e.PerShardBusyNs = append(e.PerShardBusyNs, load.Busy.Nanoseconds())
+			e.PerShardDelivered = append(e.PerShardDelivered, load.Delivered)
+			e.PerShardApplied = append(e.PerShardApplied, load.Applied)
+		}
+		e.Became, e.Ceased, e.NetOutputDense = sink.Became, sink.Ceased, se.OutputDenseCount()
+		return e, stats.Aggregate, nil
+	}
+
+	mode := "sequential"
+	if batched {
+		mode = "batched"
+	}
+	fmt.Printf("bench -scale: %d vertices, %d updates (seed=%d skew=%g neg=%g mean=%g) | T=%g Nmax=%d batch=%d mode=%s\n",
+		synthCfg.Vertices, synthCfg.Updates, synthCfg.Seed, synthCfg.Skew, synthCfg.NegativeFraction, synthCfg.MeanDelta,
+		engCfg.WithDefaults().T, engCfg.WithDefaults().Nmax, readBatch, mode)
+
+	var sc scalingResult
+	var single *scaleEntry
+	var singleStats core.Stats
+	for _, k := range ks {
+		overlaps := []shard.Overlap{shard.OverlapScoped}
+		if k > 0 {
+			overlaps = []shard.Overlap{shard.OverlapScoped, shard.OverlapMirror}
+		}
+		for _, ov := range overlaps {
+			e, stats, err := runPoint(k, ov)
+			if err != nil {
+				return err
+			}
+			label := "single"
+			if k > 0 {
+				label = fmt.Sprintf("K=%d %s", k, ov)
+			}
+			if k == 0 {
+				fmt.Printf("%-12s %10.0f upd/s  became=%d ceased=%d net=%d\n",
+					label, e.UpdatesPerSecond, e.Became, e.Ceased, e.NetOutputDense)
+				singleStats = stats
+			} else {
+				fmt.Printf("%-12s %10.0f upd/s  delivery=%.2f eff=%.0f%%  became=%d ceased=%d net=%d\n",
+					label, e.UpdatesPerSecond, e.MeanDeliveryFraction, 100*e.ParallelEfficiency,
+					e.Became, e.Ceased, e.NetOutputDense)
+			}
+			sc.Entries = append(sc.Entries, e)
+			if k == 0 {
+				point := e
+				single = &point
+			}
+			first := sc.Entries[0]
+			if e.Became != first.Became || e.Ceased != first.Ceased || e.NetOutputDense != first.NetOutputDense {
+				return fmt.Errorf("bench: scale point %s diverged from %d/%d/%d (became/ceased/net) — delivery policies must be output-identical",
+					label, first.Became, first.Ceased, first.NetOutputDense)
+			}
+		}
+	}
+
+	find := func(k int, ov string) *scaleEntry {
+		for i := range sc.Entries {
+			if sc.Entries[i].Shards == k && sc.Entries[i].Overlap == ov {
+				return &sc.Entries[i]
+			}
+		}
+		return nil
+	}
+	if s4 := find(4, "scoped"); s4 != nil {
+		if m4 := find(4, "mirror"); m4 != nil {
+			sc.ScopedK4VsMirrorK4 = speedup(s4.UpdatesPerSecond, m4.UpdatesPerSecond)
+			fmt.Printf("scoped K=4 vs mirror K=4: %.2fx\n", sc.ScopedK4VsMirrorK4)
+		}
+		if single != nil {
+			sc.ScopedK4VsSingle = speedup(s4.UpdatesPerSecond, single.UpdatesPerSecond)
+			fmt.Printf("scoped K=4 vs single:     %.2fx\n", sc.ScopedK4VsSingle)
+		}
+	}
+
+	if jsonOut == "" {
+		return nil
+	}
+	var result benchResult
+	result.fillCommon(synthCfg, engCfg.WithDefaults(), 0, readBatch)
+	result.Batched = batched
+	result.fillThroughput(synthCfg.Updates, time.Duration(single.ElapsedNs))
+	result.fillEngineStats(singleStats)
+	result.Events.Became = single.Became
+	result.Events.Ceased = single.Ceased
+	result.Events.NetOutputDense = single.NetOutputDense
+	result.Scaling = &sc
+	return result.writeJSON(jsonOut)
 }
 
 // printDocBenchSummary prints the -docs mode aggregation and story counters.

@@ -103,6 +103,18 @@ func engineFlags(fs *flag.FlagSet, defT float64, defNmax int) func() (core.Confi
 	}
 }
 
+// overlapFlag registers the sharded delivery-policy flag shared by run, bench
+// and stories and returns a constructor that parses it. It only matters with
+// -shards > 0: scoped (the default) delivers each update for full processing
+// only to interested workers, mirror broadcasts to all of them; both produce
+// identical output.
+func overlapFlag(fs *flag.FlagSet) func() (shard.Overlap, error) {
+	overlap := fs.String("overlap", "scoped", "sharded delivery policy: scoped (interest-tracked) or mirror (full broadcast)")
+	return func() (shard.Overlap, error) {
+		return shard.ParseOverlap(*overlap)
+	}
+}
+
 // synthFlags registers the synthetic-generator flags shared by gen and bench
 // and returns a constructor that builds the configuration after parsing.
 func synthFlags(fs *flag.FlagSet) func() (stream.SynthConfig, error) {
@@ -195,15 +207,19 @@ func statsSummary(s core.Stats) string {
 }
 
 // shardedSummary formats the aggregate + per-shard work counters of a sharded
-// deployment. The aggregate sums the per-worker engines, so updates count
-// every (update, shard) application.
+// deployment. The aggregate sums the per-worker engines: under mirror
+// delivery updates count every (update, shard) application, under scoped
+// delivery each worker counts only the updates delivered to it (the rest
+// appear in its load's applied column).
 func shardedSummary(st shard.Stats) string {
 	var b strings.Builder
 	b.WriteString(statsSummary(st.Aggregate))
-	fmt.Fprintf(&b, "\nmerge:  merged-events=%d deduped=%d", st.MergedEvents, st.DedupedEvents)
+	fmt.Fprintf(&b, "\nmerge:  overlap=%s merged-events=%d deduped=%d mean-delivery=%.2f",
+		st.Overlap, st.MergedEvents, st.DedupedEvents, st.MeanDeliveryFraction())
 	for i, ps := range st.PerShard {
-		fmt.Fprintf(&b, "\nshard %d: updates=%d events=%d dense=%d explorations=%d insertions=%d evictions=%d",
-			i, ps.Updates, ps.Events, ps.IndexedDense, ps.Explorations, ps.Insertions, ps.Evictions)
+		l := st.Loads[i]
+		fmt.Fprintf(&b, "\nshard %d: delivered=%d applied=%d (fraction=%.2f) events=%d dense=%d explorations=%d insertions=%d evictions=%d",
+			i, l.Delivered, l.Applied, l.DeliveryFraction(), ps.Events, ps.IndexedDense, ps.Explorations, ps.Insertions, ps.Evictions)
 	}
 	return b.String()
 }

@@ -27,6 +27,7 @@ func cmdRun(args []string) error {
 	batch := fs.Int("read-batch", 256, "micro-batch size for the replay driver (with -batch: also the maximum coalesced batch size)")
 	batchMode := fs.Bool("batch", false, "coalesce batches through Engine.ProcessBatch (batches delimited by `%%` lines, split at -read-batch; net events per batch)")
 	shards := fs.Int("shards", 0, "partition the engine across K workers (0 = single-threaded)")
+	newOverlap := overlapFlag(fs)
 	quiet := fs.Bool("quiet", false, "suppress per-event output, print only the summary")
 	minCard := fs.Int("min-card", 0, "only report subgraphs with at least this many vertices")
 	watch := fs.String("watch", "", "comma-separated vertex watchlist; only report subgraphs containing one")
@@ -44,6 +45,11 @@ func cmdRun(args []string) error {
 	}
 	if *shards < 0 {
 		return fmt.Errorf("run: -shards must be ≥ 0, got %d", *shards)
+	}
+	// Validate even for the single-threaded path, where the value is unused —
+	// a typo'd -overlap should fail loudly regardless of -shards.
+	if _, err := newOverlap(); err != nil {
+		return err
 	}
 	watchSet, err := parseWatchlist(*watch)
 	if err != nil {
@@ -87,7 +93,11 @@ func cmdRun(args []string) error {
 	filter := &core.FilterSink{Next: inner, MinCardinality: *minCard, Watch: watchSet}
 
 	if *shards > 0 {
-		se, err := shard.New(shard.Config{Shards: *shards, Engine: engCfg})
+		overlap, err := newOverlap()
+		if err != nil {
+			return err
+		}
+		se, err := shard.New(shard.Config{Shards: *shards, Engine: engCfg, Overlap: overlap})
 		if err != nil {
 			return err
 		}

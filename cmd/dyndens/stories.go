@@ -219,6 +219,7 @@ func cmdStoriesRun(args []string) error {
 	batch := fs.Int("read-batch", 256, "micro-batch size for the replay driver (unused with -batch: the aggregator's own epoch/document batches are never split)")
 	batchMode := fs.Bool("batch", false, "epoch coalescing: ship each decay burst and each document's deltas whole as one Engine.ProcessBatch (story grace then counts batch ticks)")
 	shards := fs.Int("shards", 0, "partition the engine across K workers (0 = single-threaded)")
+	newOverlap := overlapFlag(fs)
 	quiet := fs.Bool("quiet", false, "suppress the streaming lifecycle log, print only summaries and the table")
 	newSynthCfg := docSynthFlags(fs)
 	newAggCfg := aggregatorFlags(fs)
@@ -232,6 +233,11 @@ func cmdStoriesRun(args []string) error {
 	}
 	if *shards < 0 {
 		return fmt.Errorf("stories run: -shards must be ≥ 0, got %d", *shards)
+	}
+	// Validate even for the single-threaded path, where the value is unused —
+	// a typo'd -overlap should fail loudly regardless of -shards.
+	if _, err := newOverlap(); err != nil {
+		return err
 	}
 	engCfg, err := newEngineCfg()
 	if err != nil {
@@ -282,7 +288,11 @@ func cmdStoriesRun(args []string) error {
 	}
 
 	if *shards > 0 {
-		se, err := shard.New(shard.Config{Shards: *shards, Engine: engCfg})
+		overlap, err := newOverlap()
+		if err != nil {
+			return err
+		}
+		se, err := shard.New(shard.Config{Shards: *shards, Engine: engCfg, Overlap: overlap})
 		if err != nil {
 			return err
 		}

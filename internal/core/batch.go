@@ -58,6 +58,21 @@ func (e *Engine) ProcessBatch(updates []Update) []Event {
 	return e.ProcessBatchRouted(updates, nil)
 }
 
+// ProcessBatchScoped is ProcessBatchRouted under scoped delivery: the weight
+// phase still applies every delta (keeping the graph replica exact), but the
+// discovery phase skips any positive pair this engine neither seeds nor can
+// act on — neither endpoint indexed and no ImplicitTooDense family the pair
+// could extend (StarNeedsPositive) — because such a pair's pass is provably
+// empty (see ApplyOnly for the argument; the
+// interest check runs against the live index per pair, so admissions made for
+// earlier pairs in the same batch are honoured). Negative pairs are already
+// index-scoped by batchRepair. seed must be non-nil.
+func (e *Engine) ProcessBatchScoped(updates []Update, seed func(a, b Vertex) bool) []Event {
+	e.batchScoped = true
+	defer func() { e.batchScoped = false }()
+	return e.ProcessBatchRouted(updates, seed)
+}
+
 // ProcessBatchRouted is ProcessBatch for engines embedded as workers of a
 // partitioned deployment: seed reports whether this engine is the designated
 // discovery seeder for a pair (see ProcessRouted). A nil seed seeds every
@@ -234,8 +249,14 @@ func (e *Engine) batchDiscover() {
 			continue // negative pairs are fully handled by batchRepair
 		}
 		a, b := unpackPair(k)
+		seed := e.batchSeed == nil || e.batchSeed(a, b)
+		if e.batchScoped && !seed && !e.ix.HasVertex(a) && !e.ix.HasVertex(b) && !e.StarNeedsPositive(a, b, 0) {
+			e.stats.BatchPairSkips++
+			continue
+		}
+		e.stats.BatchPairs++
 		e.a, e.b, e.delta = a, b, delta
-		e.seedPairs = e.batchSeed == nil || e.batchSeed(a, b)
+		e.seedPairs = seed
 		e.maxIter = e.th.Iterations(delta)
 		e.computeMaxExplore()
 

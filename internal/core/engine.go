@@ -111,7 +111,10 @@ type Subgraph struct {
 // counters are monotonically increasing except the index gauges.
 type Stats struct {
 	Updates         uint64 // updates processed (batched updates count individually)
+	AppliedOnly     uint64 // updates applied to the graph without processing (ApplyOnly)
 	Batches         uint64 // ProcessBatch calls (one logical tick each)
+	BatchPairs      uint64 // coalesced positive pairs that ran the discovery pass
+	BatchPairSkips  uint64 // coalesced positive pairs skipped by scoped delivery
 	PositiveUpdates uint64
 	NegativeUpdates uint64
 	Explorations    uint64 // explore() invocations that scanned a neighbourhood
@@ -137,7 +140,10 @@ type Stats struct {
 // maximum of any one index.
 func (s *Stats) Add(o Stats) {
 	s.Updates += o.Updates
+	s.AppliedOnly += o.AppliedOnly
 	s.Batches += o.Batches
+	s.BatchPairs += o.BatchPairs
+	s.BatchPairSkips += o.BatchPairSkips
 	s.PositiveUpdates += o.PositiveUpdates
 	s.NegativeUpdates += o.NegativeUpdates
 	s.Explorations += o.Explorations
@@ -202,20 +208,22 @@ type Engine struct {
 	starBuf     []*index.Node
 	setFree     [][]Vertex
 	nbufFree    []*graph.NeighborhoodBuf
-	weightsBuf  []float64 // computeMaxExplore's neighbour-weight scratch
-	pairBuf     [2]Vertex // seed-pair scratch
+	weightsBuf  []float64     // computeMaxExplore's neighbour-weight scratch
+	pairBuf     [2]Vertex     // seed-pair scratch
+	scopeBuf    []*index.Node // StarNeedsPositive's star snapshot (outside updates)
 
 	// Per-batch scratch state (valid during ProcessBatch only; see batch.go).
 	// All containers are engine-owned and reused across batches, so a
 	// steady-state batch — like a steady-state Process — allocates nothing.
-	batching   bool
-	batchNet   map[uint64]float64     // canonical pair key → net applied delta
-	batchKeys  []uint64               // sorted keys of batchNet (phase order)
-	batchDirty []Vertex               // sorted distinct endpoints of changed pairs
-	dirtyInC   []Vertex               // batchDeltaOf's dirty∩C scratch
-	batchSeed  func(a, b Vertex) bool // nil = seed every pair
-	stageIdx   map[string]int         // staged-event dedup: set key → staged index
-	staged     []stagedEvent
+	batching    bool
+	batchScoped bool                   // scoped delivery: skip provably inert pairs
+	batchNet    map[uint64]float64     // canonical pair key → net applied delta
+	batchKeys   []uint64               // sorted keys of batchNet (phase order)
+	batchDirty  []Vertex               // sorted distinct endpoints of changed pairs
+	dirtyInC    []Vertex               // batchDeltaOf's dirty∩C scratch
+	batchSeed   func(a, b Vertex) bool // nil = seed every pair
+	stageIdx    map[string]int         // staged-event dedup: set key → staged index
+	staged      []stagedEvent
 }
 
 // getSetBuf pops a vertex-set scratch buffer off the free list.
@@ -379,6 +387,101 @@ func (e *Engine) ProcessRouted(u Update, seedPairs bool) []Event {
 		e.stats.MaxIndexNodes = n
 	}
 	return e.finishEmit()
+}
+
+// ApplyOnly applies an update's weight change to the graph replica without
+// running any discovery or index maintenance. It is the scoped-delivery
+// counterpart of ProcessRouted for updates the engine provably cannot act on:
+// when the engine is not the update's designated seeder, neither endpoint has
+// a prefix-tree node (Index.HasVertex), and — for positive deltas — no
+// ImplicitTooDense family reacts (StarNeedsPositive), ProcessRouted(u, false)
+// performs exactly a graph Apply plus scratch work and emits nothing, so
+// ApplyOnly(u) leaves the engine in the same state at a fraction of the cost.
+// For negative deltas the condition is weaker still: only subgraphs containing
+// BOTH endpoints are affected, so one absent endpoint suffices (stars never
+// react to negative deltas directly; their bases are repaired as ordinary
+// dense nodes).
+//
+// The equivalence holds because exploration, cheap-exploration, and star
+// scans all start from indexed nodes reached through the endpoints' inverted
+// lists or the star list, and only the seeder may admit the base pair. The
+// one observable difference is bookkeeping: the update counts as AppliedOnly
+// instead of Updates, and the index epoch does not advance (epoch annotations
+// are per-update scratch, so skipping the tick cannot resurrect stale ones).
+func (e *Engine) ApplyOnly(u Update) {
+	e.stats.AppliedOnly++
+	if u.A != u.B && u.Delta != 0 {
+		e.g.Apply(u)
+	}
+	e.endUpdate()
+}
+
+// SetMembershipListener forwards fn to the engine's index (see
+// index.SetMembershipListener): fn observes every label-presence transition —
+// vertex v gaining its first or losing its last prefix-tree node, with
+// index.Star reported like any other label. Sharded workers install their
+// interest maps here before processing begins.
+func (e *Engine) SetMembershipListener(fn func(v Vertex, present bool)) {
+	e.ix.SetMembershipListener(fn)
+}
+
+// IndexHasVertex reports whether v currently has at least one prefix-tree
+// node — the interest oracle scoped delivery relies on (see ApplyOnly).
+func (e *Engine) IndexHasVertex(v Vertex) bool { return e.ix.HasVertex(v) }
+
+// IndexVertices returns the sorted labels currently present in the index
+// (including index.Star while any ImplicitTooDense family exists). Intended
+// for interest-map validation, not hot paths.
+func (e *Engine) IndexVertices() []Vertex { return e.ix.Vertices() }
+
+// StarNeedsPositive reports whether some ImplicitTooDense family on this
+// engine must see the positive update {a, b} even though neither endpoint is
+// on an indexed path. processStar reacts to such an update only in its
+// disconnected-endpoint case, and only by admitting the union: a base C with
+// a, b ∉ C acts iff a or b has no edge into C, the union C∪{a, b} fits Nmax,
+// is not already indexed, and is dense after the update. The check replays
+// that exact condition against this engine's own replica; pendingDelta is
+// the update's not-yet-applied weight change (pass the raw delta when called
+// before the graph apply, 0 when the graph already reflects it, as in batch
+// discovery). It is exact on both sides of the apply: positive deltas never
+// clamp, so the post-apply union score is Score(union)+pendingDelta, and the
+// disconnection test is apply-invariant because the edge {a, b} never
+// contributes to either endpoint's connection to a base excluding both.
+// Bases containing an endpoint need no decision here — every base vertex is
+// inverted-list subscribed, so endpoint interest already delivers those
+// updates. Positive processing only grows the index, so a union indexed at
+// decision time is still indexed (a no-op) at processing time; a union
+// admitted mid-update by an earlier phase only makes the decision
+// over-deliver, never skip. It must be called between updates (it shares
+// the engine's scratch free lists), which is where scoped workers make
+// their delivery decisions.
+func (e *Engine) StarNeedsPositive(a, b Vertex, pendingDelta float64) bool {
+	e.scopeBuf = e.ix.AppendStarNodes(e.scopeBuf[:0])
+	if len(e.scopeBuf) == 0 {
+		return false
+	}
+	needs := false
+	baseBuf := e.getSetBuf()
+	unionBuf := e.getSetBuf()
+	for _, star := range e.scopeBuf {
+		base := star.SetInto(baseBuf)
+		baseBuf = base
+		if base.Len()+2 > e.th.Nmax || base.Contains(a) || base.Contains(b) {
+			continue
+		}
+		if e.g.ScoreWith(base, a) != 0 && e.g.ScoreWith(base, b) != 0 {
+			continue
+		}
+		union := vset.Add2Into(unionBuf, base, a, b)
+		unionBuf = union
+		if !e.ix.HasDense(union) && e.th.IsDense(e.g.Score(union)+pendingDelta, union.Len()) {
+			needs = true
+			break
+		}
+	}
+	e.putSetBuf(unionBuf)
+	e.putSetBuf(baseBuf)
+	return needs
 }
 
 // ProcessAll applies a sequence of updates and returns the total number of

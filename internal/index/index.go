@@ -19,6 +19,7 @@ package index
 
 import (
 	"math"
+	"slices"
 
 	"dyndens/internal/vset"
 )
@@ -113,6 +114,14 @@ type Index struct {
 	denseCount int
 	starCount  int
 	nodeCount  int
+
+	// membership, when installed, observes label-presence transitions: it is
+	// called with (v, true) when v gains its first prefix-tree node and with
+	// (v, false) when it loses its last. Star transitions are reported like
+	// any other label, so membership of Star doubles as "the index holds at
+	// least one ImplicitTooDense family". Sharded deployments use this to
+	// maintain per-worker interest maps incrementally (scoped delivery).
+	membership func(v Vertex, present bool)
 }
 
 // New returns an empty index.
@@ -121,6 +130,37 @@ func New() *Index {
 		root: &Node{children: make(map[Vertex]*Node)},
 		inv:  make(map[Vertex]*Node),
 	}
+}
+
+// SetMembershipListener installs fn as the label-presence observer (see the
+// membership field). Passing nil uninstalls it. The listener is invoked
+// synchronously during index mutation and must not call back into the index.
+// Installing a listener on a non-empty index is allowed; the caller is then
+// responsible for seeding its state from Vertices().
+func (ix *Index) SetMembershipListener(fn func(v Vertex, present bool)) {
+	ix.membership = fn
+}
+
+// HasVertex reports whether at least one prefix-tree node is labelled v —
+// equivalently, whether v belongs to at least one indexed (dense or star)
+// subgraph or a prefix path leading to one. It is the O(1) interest oracle
+// behind scoped delivery: an update endpoint absent from the index (and from
+// every star family) provably cannot affect any indexed subgraph.
+func (ix *Index) HasVertex(v Vertex) bool {
+	_, ok := ix.inv[v]
+	return ok
+}
+
+// Vertices returns the sorted labels that currently have at least one
+// prefix-tree node (including Star when any ImplicitTooDense family exists).
+// It is intended for interest-map seeding and invariant checks, not hot paths.
+func (ix *Index) Vertices() []Vertex {
+	out := make([]Vertex, 0, len(ix.inv))
+	for v := range ix.inv {
+		out = append(out, v)
+	}
+	slices.Sort(out)
+	return out
 }
 
 // Len returns the number of explicitly indexed dense subgraphs.
@@ -209,6 +249,9 @@ func (ix *Index) newChild(parent *Node, label Vertex) *Node {
 		head.invPrev = n
 	}
 	ix.inv[label] = n
+	if head == nil && ix.membership != nil {
+		ix.membership(label, true)
+	}
 	return n
 }
 
@@ -218,6 +261,9 @@ func (ix *Index) unlink(n *Node) {
 	} else if ix.inv[n.label] == n {
 		if n.invNext == nil {
 			delete(ix.inv, n.label)
+			if ix.membership != nil {
+				ix.membership(n.label, false)
+			}
 		} else {
 			ix.inv[n.label] = n.invNext
 		}

@@ -1,0 +1,51 @@
+package shard
+
+import (
+	"fmt"
+	"testing"
+
+	"dyndens/internal/core"
+)
+
+// benchStream approximates the repo's standard CLI bench workload (500
+// vertices, uniform endpoints, 10% negative) at a size that keeps -bench
+// iterations fast while still building a realistic index.
+func benchStream(n int) []core.Update {
+	return testStream(1, 500, n, 0.1)
+}
+
+var benchEngineCfg = core.Config{T: 3, Nmax: 5}
+
+// BenchmarkShardedDelivery measures end-to-end sharded throughput (dispatch →
+// workers → merge barrier) for both delivery policies. The interesting ratio
+// on any machine — single-core CI included — is scoped vs mirror at equal K:
+// it isolates the duplicated-work reduction from core-count effects.
+func BenchmarkShardedDelivery(b *testing.B) {
+	updates := benchStream(10000)
+	for _, k := range []int{2, 4} {
+		for _, ov := range []Overlap{OverlapScoped, OverlapMirror} {
+			b.Run(fmt.Sprintf("K=%d/%s", k, ov), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					se := MustNew(Config{Shards: k, Engine: benchEngineCfg, Overlap: ov})
+					se.ProcessAll(updates)
+					se.Flush()
+					se.Close()
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkSingleEngine is the unsharded reference for the same stream.
+func BenchmarkSingleEngine(b *testing.B) {
+	updates := benchStream(10000)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		eng := core.MustNew(benchEngineCfg)
+		eng.SetSink(core.EventSinkFunc(func(core.Event) {}))
+		for _, u := range updates {
+			eng.Process(u)
+		}
+	}
+}

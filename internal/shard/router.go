@@ -10,15 +10,28 @@
 //     only ever *grows* an already-indexed subgraph, so each chain is rooted
 //     at the admission of a base pair {a, b}.
 //
-// Every worker therefore receives every update and applies it to its own
-// graph replica — the overlap policy for cross-shard edges taken to its
-// correctness limit, so boundary edges (and all discovery context) are exact
-// in every shard — but only the shard that owns the update's canonical
-// endpoint seeds the base pair. Discovery work thus partitions across shards
-// by pair ownership, while each shard maintains (bumps, evicts, reports) only
-// the subgraphs its own chains produced. A sequence-aligned merger collapses
+// Every worker's graph replica applies every weight change — exploration may
+// reach up to Nmax−2 hops from any indexed subgraph and star-family edge
+// scans are global, so exact boundary context in every shard is what keeps
+// cross-shard subgraphs correct — but full processing is *scoped*: only the
+// shard that owns the update's canonical endpoint (the designated seeder)
+// and the shards whose interest maps subscribe to an endpoint run discovery;
+// every other shard takes the O(log deg) ApplyOnly path. A shard's interest
+// map (InterestMap) is its owned hash range plus a halo of subscriptions —
+// every vertex with a node in the shard's own prefix-tree index, maintained
+// incrementally from the index's membership events. While the shard holds an
+// ImplicitTooDense family it additionally replays the family's exact
+// reaction condition (core.Engine.StarNeedsPositive) against its own replica
+// before declining a positive update. Because the subscription check runs on
+// the worker against its own live index, interest growth mid-stream (an
+// admission subscribing new vertices) takes effect for the very next update
+// with no propagation lag. Discovery work thus partitions across shards by
+// pair ownership, each shard maintains (bumps, evicts, reports) only the
+// subgraphs its own chains produced, and a sequence-aligned merger collapses
 // the per-shard event streams into one deterministic, duplicate-free total
-// order identical to the single-engine stream (see ShardedEngine).
+// order identical to the single-engine stream (see ShardedEngine). The
+// full-broadcast policy remains available as OverlapMirror, the conformance
+// reference.
 package shard
 
 import (

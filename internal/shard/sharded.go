@@ -16,6 +16,11 @@ type Config struct {
 	Shards int
 	// Engine configures every worker's embedded core.Engine.
 	Engine core.Config
+	// Overlap selects the delivery policy. The zero value is OverlapScoped:
+	// each update is fully processed only by the workers whose interest maps
+	// want it, the rest take the ApplyOnly path. OverlapMirror restores the
+	// full broadcast; both produce bit-identical output.
+	Overlap Overlap
 	// BatchSize is the number of updates broadcast to the workers per batch.
 	// Larger batches amortise channel traffic; smaller ones reduce merge
 	// latency. Defaults to 128.
@@ -56,25 +61,54 @@ type SeqSinkFunc func(ev SeqEvent)
 // EmitSeq implements SeqSink.
 func (f SeqSinkFunc) EmitSeq(ev SeqEvent) { f(ev) }
 
-// ShardLoad summarises the work one shard performed.
+// ShardLoad summarises the work one shard performed. Delivered and Applied
+// partition the shard's discovery work units: stream updates in per-update
+// delivery, coalesced positive pairs in batch delivery. Delivered units ran
+// the full discovery/maintenance path; Applied units were provably inert for
+// this shard and only updated its graph replica (scoped delivery). Under
+// OverlapMirror every unit is Delivered; under OverlapScoped
+// Delivered+Applied still covers the full stream — every replica applies
+// every weight change — but Delivered alone measures the shard's share of
+// the expensive work.
 type ShardLoad struct {
 	Shard     int
-	Updates   uint64        // updates the worker processed (every shard sees the full stream)
-	Batches   uint64        // batches the worker processed
-	Busy      time.Duration // wall time spent inside Engine.ProcessRouted
+	Delivered uint64        // work units fully processed on this shard
+	Applied   uint64        // work units taken on the ApplyOnly / skip path
+	Batches   uint64        // dispatch batches the worker processed
+	Busy      time.Duration // wall time spent inside the worker engine
 	RawEvents uint64        // events the worker emitted before merge dedup
+}
+
+// DeliveryFraction returns Delivered / (Delivered + Applied): the fraction
+// of this shard's discovery work units that needed full processing. Mirror
+// delivery pins it at 1; scoped delivery drives it toward 1/K plus the
+// shard's interest overlap.
+func (l ShardLoad) DeliveryFraction() float64 {
+	total := l.Delivered + l.Applied
+	if total == 0 {
+		return 0
+	}
+	return float64(l.Delivered) / float64(total)
 }
 
 // Stats aggregates the sharded deployment's work counters.
 type Stats struct {
-	// Aggregate is the sum of the per-shard engine counters. Updates counts
-	// every (update, shard) application — K× the stream length — and index
-	// gauges sum worker index sizes, so duplicated holdings across shards
-	// show up as Aggregate.IndexedDense exceeding a single engine's.
+	// Overlap is the delivery policy the deployment ran under.
+	Overlap Overlap
+	// Accepted counts stream updates accepted by the deployment (updates
+	// inside coalesced batches count individually).
+	Accepted uint64
+	// Aggregate is the sum of the per-shard engine counters. Under mirror
+	// delivery Updates counts every (update, shard) application — K× the
+	// stream length — while under scoped delivery each worker's Updates
+	// counts only the updates delivered to it (its AppliedOnly counter holds
+	// the rest). Index gauges sum worker index sizes, so duplicated holdings
+	// across shards show up as Aggregate.IndexedDense exceeding a single
+	// engine's.
 	Aggregate core.Stats
 	// PerShard holds each worker engine's own counters.
 	PerShard []core.Stats
-	// Loads holds the per-shard throughput accounting.
+	// Loads holds the per-shard delivery and throughput accounting.
 	Loads []ShardLoad
 	// MergedEvents counts events forwarded downstream after deduplication;
 	// this matches the single-engine event count on the same stream.
@@ -82,6 +116,20 @@ type Stats struct {
 	// DedupedEvents counts duplicate events dropped at the merge barrier
 	// (the same subgraph transition discovered by more than one shard).
 	DedupedEvents uint64
+}
+
+// MeanDeliveryFraction returns the mean per-shard DeliveryFraction — the
+// headline scoped-delivery number: 1.0 under mirror, ideally approaching 1/K
+// plus the measured interest overlap under scoped delivery.
+func (s Stats) MeanDeliveryFraction() float64 {
+	if len(s.Loads) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, l := range s.Loads {
+		sum += l.DeliveryFraction()
+	}
+	return sum / float64(len(s.Loads))
 }
 
 // batch is one broadcast unit: a contiguous run of the update stream, or —
@@ -93,21 +141,36 @@ type batch struct {
 	coalesced bool
 }
 
-// workerResult carries one shard's per-tick events for one batch: one entry
-// per update for micro-batches, a single netted entry for coalesced batches.
+// tickEvents is one non-empty logical tick of a worker's batch result: off is
+// the tick's offset from the batch's firstSeq.
+type tickEvents struct {
+	off int
+	evs []core.Event
+}
+
+// workerResult carries one shard's events for one batch, sparsely: only ticks
+// that produced events appear, in ascending offset order (one offset per
+// update for micro-batches, offset 0 only for coalesced batches). ticks is
+// the number of sequence slots the batch spans regardless of sparsity, which
+// is what advances the merge barrier. delivered/applied carry the shard's
+// scoped-delivery accounting for the batch (see ShardLoad).
 type workerResult struct {
-	shard    int
-	firstSeq uint64
-	updates  int // updates processed (== len(events) unless coalesced)
-	events   [][]core.Event
-	busy     time.Duration
+	shard     int
+	firstSeq  uint64
+	ticks     int
+	delivered uint64
+	applied   uint64
+	events    []tickEvents
+	busy      time.Duration
 }
 
 type worker struct {
-	id   int
-	eng  *core.Engine
-	in   chan batch
-	seed func(a, b core.Vertex) bool // per-pair seeding for coalesced batches
+	id       int
+	eng      *core.Engine
+	in       chan batch
+	seed     func(a, b core.Vertex) bool // per-pair seeding for coalesced batches
+	interest *InterestMap                // delivery filter, fed by the engine's index
+	scoped   bool                        // Overlap == OverlapScoped
 }
 
 // ShardedEngine partitions DynDens across K single-threaded core.Engine
@@ -115,14 +178,17 @@ type worker struct {
 // sequence-numbered total order that matches the single-engine stream on the
 // same updates.
 //
-// Every worker receives every update (keeping each graph replica exact, so
-// dense subgraphs that span shard boundaries stay correct for any cardinality
-// ≤ Nmax); the router designates one shard per update — the owner of its
-// canonical endpoint — as the discovery seeder. Because discovery chains only
-// ever grow already-indexed subgraphs, the expensive exploration and index
-// maintenance partitions across shards by chain ownership, while the same
-// subgraph reached from differently-owned roots is collapsed by the merger's
-// output-dense tracking set.
+// Every worker's graph replica applies every weight change (dense subgraphs
+// that span shard boundaries stay exact for any cardinality ≤ Nmax), but
+// under the default scoped overlap policy an update is *fully processed* only
+// by the workers whose interest maps want it — the designated seeder (owner
+// of the canonical endpoint), subscribers whose indexes touch an endpoint,
+// and star-family holders whose replica-local StarNeedsPositive check fires;
+// everyone else takes the O(log deg) ApplyOnly path.
+// Because discovery chains only ever grow already-indexed subgraphs, the
+// expensive exploration and index maintenance partitions across shards by
+// chain ownership, while the same subgraph reached from differently-owned
+// roots is collapsed by the merger's output-dense tracking set.
 //
 // Process/ProcessAll are asynchronous and must be called from a single
 // producer goroutine; Flush, Close, Stats, and the query methods may be
@@ -161,6 +227,8 @@ type ShardedEngine struct {
 	mergedEv  uint64
 	dedupedEv uint64
 	loads     []ShardLoad
+	cursorBuf []int        // mergeLocked's per-shard sparse-result cursors
+	evBuf     []core.Event // mergeLocked's per-tick gather buffer
 
 	workerWG sync.WaitGroup
 	mergerWG sync.WaitGroup
@@ -192,6 +260,12 @@ func New(cfg Config) (*ShardedEngine, error) {
 			return nil, err
 		}
 		id := i
+		// The interest map mirrors the worker engine's index membership; it
+		// is installed unconditionally (transitions are rare and the hook is
+		// one map write) so stats and tests can inspect it in either overlap
+		// policy, but only scoped delivery consults it.
+		im := NewInterestMap(router, id)
+		eng.SetMembershipListener(im.Observe)
 		se.workers = append(se.workers, &worker{
 			id:  i,
 			eng: eng,
@@ -204,6 +278,8 @@ func New(cfg Config) (*ShardedEngine, error) {
 				}
 				return router.Owner(a) == id
 			},
+			interest: im,
+			scoped:   cfg.Overlap == OverlapScoped,
 		})
 	}
 	for _, w := range se.workers {
@@ -385,6 +461,8 @@ func (se *ShardedEngine) Stats() Stats {
 	se.quiesceLocked()
 	se.mu.Lock()
 	out := Stats{
+		Overlap:       se.cfg.Overlap,
+		Accepted:      se.accepted,
 		PerShard:      make([]core.Stats, len(se.workers)),
 		Loads:         append([]ShardLoad(nil), se.loads...),
 		MergedEvents:  se.mergedEv,
@@ -448,25 +526,62 @@ func (se *ShardedEngine) runWorker(w *worker) {
 		// scratch. Everything else (neighbourhood merges, candidate sets,
 		// index snapshots) stays in the worker engine's own reusable
 		// buffers, so each shard inherits the allocation-free exploration
-		// path.
-		var per [][]core.Event
+		// path. Results are sparse: only event-bearing ticks are recorded,
+		// so a batch whose updates all land on other shards' chains crosses
+		// the channel as a counter-only result with no per-tick slice at all
+		// (the old dense [][]Event cost K·len(batch) slice headers per batch
+		// regardless of how few ticks produced anything).
+		res := workerResult{shard: w.id, firstSeq: b.firstSeq}
 		if b.coalesced {
 			// Whole-epoch shipping: the batch is one logical tick, so the
-			// netted events land under a single sequence slot.
-			per = [][]core.Event{w.eng.ProcessBatchRouted(b.updates, w.seed)}
+			// netted events land under a single sequence slot. Delivery
+			// accounting comes from the engine's own pair counters: the
+			// weight phase always covers the full batch, and scoping decides
+			// per positive pair inside batchDiscover.
+			res.ticks = 1
+			before := w.eng.Stats()
+			var evs []core.Event
+			if w.scoped {
+				evs = w.eng.ProcessBatchScoped(b.updates, w.seed)
+			} else {
+				evs = w.eng.ProcessBatchRouted(b.updates, w.seed)
+			}
+			after := w.eng.Stats()
+			res.delivered = after.BatchPairs - before.BatchPairs
+			res.applied = after.BatchPairSkips - before.BatchPairSkips
+			if len(evs) > 0 {
+				res.events = []tickEvents{{off: 0, evs: evs}}
+			}
 		} else {
-			per = make([][]core.Event, len(b.updates))
+			res.ticks = len(b.updates)
 			for i, u := range b.updates {
-				per[i] = w.eng.ProcessRouted(u, se.router.Primary(u) == w.id)
+				// The delivery decision consults the worker's own live
+				// interest map, never a dispatcher-side snapshot: interest
+				// can grow mid-batch through this worker's own admissions,
+				// and checking at processing time (in stream order, on the
+				// worker goroutine) means there is no staleness window in
+				// which a newly interesting update could slip past.
+				if w.scoped && !w.interest.Wants(u) {
+					// Residual star case: a positive edge can extend an
+					// ImplicitTooDense family whose base excludes both
+					// endpoints, but only when an endpoint was previously
+					// disconnected from the base — an exact, replica-local
+					// check (see core.Engine.StarNeedsPositive).
+					if !(u.Delta > 0 && w.interest.HasStars() && w.eng.StarNeedsPositive(u.A, u.B, u.Delta)) {
+						w.eng.ApplyOnly(u)
+						res.applied++
+						continue
+					}
+				}
+				res.delivered++
+				evs := w.eng.ProcessRouted(u, se.router.Primary(u) == w.id)
+				if len(evs) > 0 {
+					res.events = append(res.events, tickEvents{off: i, evs: evs})
+				}
 			}
 		}
-		se.results <- workerResult{
-			shard:    w.id,
-			firstSeq: b.firstSeq,
-			updates:  len(b.updates),
-			events:   per,
-			busy:     time.Since(start),
-		}
+		res.busy = time.Since(start)
+		se.results <- res
 	}
 }
 
@@ -485,7 +600,7 @@ func (se *ShardedEngine) runMerger() {
 			}
 			delete(se.pending, se.nextMerge)
 			se.mergeLocked(ready)
-			se.nextMerge += uint64(len(ready[0].events))
+			se.nextMerge += uint64(ready[0].ticks)
 			se.merged++
 			se.cond.Broadcast()
 		}
@@ -505,26 +620,49 @@ func (se *ShardedEngine) runMerger() {
 // arrival order.
 func (se *ShardedEngine) mergeLocked(ready []workerResult) {
 	firstSeq := ready[0].firstSeq
-	n := len(ready[0].events)
-	for _, res := range ready {
+	for i := range ready {
+		res := &ready[i]
 		load := &se.loads[res.shard]
 		load.Batches++
 		load.Busy += res.busy
-		load.Updates += uint64(res.updates)
-		for _, evs := range res.events {
-			load.RawEvents += uint64(len(evs))
+		load.Delivered += res.delivered
+		load.Applied += res.applied
+		for _, te := range res.events {
+			load.RawEvents += uint64(len(te.evs))
 		}
 	}
-	var buf []core.Event
-	for i := 0; i < n; i++ {
-		seq := firstSeq + uint64(i)
-		buf = buf[:0]
-		for _, res := range ready {
-			buf = append(buf, res.events[i]...)
+	// K-way merge of the sparse per-shard tick lists by offset: only ticks
+	// for which some shard produced events are visited at all, so merge cost
+	// scales with the event volume, not the batch length × shard count. The
+	// cursor and gather buffers are merger-owned and reused across batches.
+	if cap(se.cursorBuf) < len(ready) {
+		se.cursorBuf = make([]int, len(ready))
+	}
+	cur := se.cursorBuf[:len(ready)]
+	for i := range cur {
+		cur[i] = 0
+	}
+	for {
+		off := -1
+		for s := range ready {
+			if cur[s] < len(ready[s].events) {
+				if o := ready[s].events[cur[s]].off; off == -1 || o < off {
+					off = o
+				}
+			}
 		}
-		if len(buf) == 0 {
-			continue
+		if off == -1 {
+			return
 		}
+		buf := se.evBuf[:0]
+		for s := range ready {
+			if cur[s] < len(ready[s].events) && ready[s].events[cur[s]].off == off {
+				buf = append(buf, ready[s].events[cur[s]].evs...)
+				cur[s]++
+			}
+		}
+		se.evBuf = buf
+		seq := firstSeq + uint64(off)
 		sort.Slice(buf, func(a, b int) bool {
 			if buf[a].Kind != buf[b].Kind {
 				return buf[a].Kind < buf[b].Kind
@@ -558,7 +696,21 @@ func (se *ShardedEngine) mergeLocked(ready []workerResult) {
 	}
 }
 
+// InterestMaps flushes and returns the per-worker interest maps for
+// inspection (subscription sets, churn counters). The maps are live worker
+// state: they are safe to read only until the next Process call.
+func (se *ShardedEngine) InterestMaps() []*InterestMap {
+	se.produceMu.Lock()
+	defer se.produceMu.Unlock()
+	se.quiesceLocked()
+	out := make([]*InterestMap, len(se.workers))
+	for i, w := range se.workers {
+		out[i] = w.interest
+	}
+	return out
+}
+
 // String summarises the deployment.
 func (se *ShardedEngine) String() string {
-	return fmt.Sprintf("sharded{shards=%d batch=%d}", se.cfg.Shards, se.cfg.BatchSize)
+	return fmt.Sprintf("sharded{shards=%d batch=%d overlap=%s}", se.cfg.Shards, se.cfg.BatchSize, se.cfg.Overlap)
 }

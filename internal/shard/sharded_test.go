@@ -201,39 +201,98 @@ func TestProcessAfterClosePanics(t *testing.T) {
 	se.Process(core.Update{A: 1, B: 2, Delta: 1})
 }
 
-// TestStatsAggregation: every shard sees the full stream, so per-shard update
-// counters equal the stream length and the aggregate is K× it.
+// TestStatsAggregation pins the delivery accounting contract of both overlap
+// policies. Under mirror delivery every shard fully processes the full
+// stream; under scoped delivery each shard's Delivered+Applied covers the
+// full stream (every replica applies every weight change) while Delivered
+// alone is its share of the discovery work, at least the updates it seeds.
 func TestStatsAggregation(t *testing.T) {
 	updates := testStream(4, 10, 250, 0.25)
 	const k = 3
-	se := MustNew(Config{Shards: k, Engine: testEngineCfg})
-	defer se.Close()
-	se.ProcessAll(updates)
-	st := se.Stats()
-	if len(st.PerShard) != k || len(st.Loads) != k {
-		t.Fatalf("per-shard slices sized %d/%d, want %d", len(st.PerShard), len(st.Loads), k)
-	}
-	for i, ps := range st.PerShard {
-		if ps.Updates != uint64(len(updates)) {
-			t.Errorf("shard %d processed %d updates, want %d", i, ps.Updates, len(updates))
+
+	t.Run("mirror", func(t *testing.T) {
+		se := MustNew(Config{Shards: k, Engine: testEngineCfg, Overlap: OverlapMirror})
+		defer se.Close()
+		se.ProcessAll(updates)
+		st := se.Stats()
+		if len(st.PerShard) != k || len(st.Loads) != k {
+			t.Fatalf("per-shard slices sized %d/%d, want %d", len(st.PerShard), len(st.Loads), k)
 		}
-		if st.Loads[i].Updates != uint64(len(updates)) {
-			t.Errorf("shard %d load reports %d updates, want %d", i, st.Loads[i].Updates, len(updates))
+		if st.Overlap != OverlapMirror {
+			t.Errorf("stats report overlap %v, want mirror", st.Overlap)
 		}
-	}
-	if st.Aggregate.Updates != uint64(k*len(updates)) {
-		t.Errorf("aggregate updates = %d, want %d", st.Aggregate.Updates, k*len(updates))
-	}
-	if se.Updates() != uint64(len(updates)) {
-		t.Errorf("Updates() = %d, want %d", se.Updates(), len(updates))
-	}
-	var rawTotal uint64
-	for _, l := range st.Loads {
-		rawTotal += l.RawEvents
-	}
-	if rawTotal != st.MergedEvents+st.DedupedEvents {
-		t.Errorf("raw events %d != merged %d + deduped %d", rawTotal, st.MergedEvents, st.DedupedEvents)
-	}
+		if st.Accepted != uint64(len(updates)) {
+			t.Errorf("accepted %d updates, want %d", st.Accepted, len(updates))
+		}
+		for i, ps := range st.PerShard {
+			if ps.Updates != uint64(len(updates)) {
+				t.Errorf("shard %d processed %d updates, want %d", i, ps.Updates, len(updates))
+			}
+			if ps.AppliedOnly != 0 {
+				t.Errorf("shard %d took the ApplyOnly path %d times under mirror", i, ps.AppliedOnly)
+			}
+			l := st.Loads[i]
+			if l.Delivered != uint64(len(updates)) || l.Applied != 0 {
+				t.Errorf("shard %d load delivered=%d applied=%d, want %d/0", i, l.Delivered, l.Applied, len(updates))
+			}
+			if f := l.DeliveryFraction(); f != 1 {
+				t.Errorf("shard %d delivery fraction %v, want 1 under mirror", i, f)
+			}
+		}
+		if st.Aggregate.Updates != uint64(k*len(updates)) {
+			t.Errorf("aggregate updates = %d, want %d", st.Aggregate.Updates, k*len(updates))
+		}
+		if se.Updates() != uint64(len(updates)) {
+			t.Errorf("Updates() = %d, want %d", se.Updates(), len(updates))
+		}
+		var rawTotal uint64
+		for _, l := range st.Loads {
+			rawTotal += l.RawEvents
+		}
+		if rawTotal != st.MergedEvents+st.DedupedEvents {
+			t.Errorf("raw events %d != merged %d + deduped %d", rawTotal, st.MergedEvents, st.DedupedEvents)
+		}
+	})
+
+	t.Run("scoped", func(t *testing.T) {
+		se := MustNew(Config{Shards: k, Engine: testEngineCfg}) // scoped is the default
+		defer se.Close()
+		se.ProcessAll(updates)
+		st := se.Stats()
+		if st.Overlap != OverlapScoped {
+			t.Errorf("stats report overlap %v, want scoped", st.Overlap)
+		}
+		var deliveredTotal uint64
+		for i, l := range st.Loads {
+			if l.Delivered+l.Applied != uint64(len(updates)) {
+				t.Errorf("shard %d delivered=%d applied=%d, sum want %d", i, l.Delivered, l.Applied, len(updates))
+			}
+			ps := st.PerShard[i]
+			if ps.Updates != l.Delivered || ps.AppliedOnly != l.Applied {
+				t.Errorf("shard %d engine counters updates=%d appliedOnly=%d disagree with load %d/%d",
+					i, ps.Updates, ps.AppliedOnly, l.Delivered, l.Applied)
+			}
+			deliveredTotal += l.Delivered
+		}
+		// Every update is delivered at least to its seeder, never more than
+		// K-wide; a fixture this dense must also actually skip something.
+		if deliveredTotal < uint64(len(updates)) {
+			t.Errorf("delivered total %d < stream length %d (some update had no seeder)", deliveredTotal, len(updates))
+		}
+		if st.Aggregate.AppliedOnly == 0 {
+			t.Error("scoped run skipped nothing; fixture too weak to exercise scoping")
+		}
+		if f := st.MeanDeliveryFraction(); f <= 0 || f > 1 {
+			t.Errorf("mean delivery fraction %v out of (0, 1]", f)
+		}
+		var rawTotal uint64
+		for _, l := range st.Loads {
+			rawTotal += l.RawEvents
+		}
+		if rawTotal != st.MergedEvents+st.DedupedEvents {
+			t.Errorf("raw events %d != merged %d + deduped %d", rawTotal, st.MergedEvents, st.DedupedEvents)
+		}
+	})
 }
 
 // TestConcurrentObservers exercises Flush/Stats/queries from other goroutines

@@ -26,11 +26,26 @@ type ShardReplay struct {
 	buf   []Update
 }
 
-// ShardLoadStats is one shard's share of a replay.
+// ShardLoadStats is one shard's share of a replay. Delivered counts the work
+// units the shard fully processed and Applied the units scoped delivery
+// reduced to a bare graph apply (see shard.ShardLoad for the unit
+// definition); under mirror delivery Applied is always 0.
 type ShardLoadStats struct {
 	Shard     int
-	Busy      time.Duration // time inside Engine.ProcessRouted on this shard
+	Delivered uint64
+	Applied   uint64
+	Busy      time.Duration // time inside the worker engine on this shard
 	RawEvents uint64        // events emitted before merge deduplication
+}
+
+// DeliveryFraction returns Delivered / (Delivered + Applied), the fraction of
+// this shard's work units that needed full processing.
+func (l ShardLoadStats) DeliveryFraction() float64 {
+	total := l.Delivered + l.Applied
+	if total == 0 {
+		return 0
+	}
+	return float64(l.Delivered) / float64(total)
 }
 
 // ShardReplayStats aggregates the work performed by a ShardReplay.
@@ -69,15 +84,42 @@ func (s ShardReplayStats) BusyTotal() time.Duration {
 	return total
 }
 
+// ParallelEfficiency returns busy / (wall · K): the fraction of the
+// deployment's total core-time budget actually spent inside worker engines.
+// 1.0 means K cores fully busy for the whole run; the raw busy multiple
+// (BusyTotal/Wall) is this times K. Scoped delivery lowers per-shard busy
+// time, so a scoped run can have lower efficiency than a mirror run while
+// finishing much sooner — throughput, not efficiency, is the headline.
+func (s ShardReplayStats) ParallelEfficiency() float64 {
+	if s.Wall <= 0 || s.Shards == 0 {
+		return 0
+	}
+	return float64(s.BusyTotal()) / (float64(s.Wall) * float64(s.Shards))
+}
+
+// MeanDeliveryFraction returns the mean per-shard DeliveryFraction (1.0 for
+// mirror delivery, ideally near 1/K plus interest overlap for scoped).
+func (s ShardReplayStats) MeanDeliveryFraction() float64 {
+	if len(s.PerShard) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, l := range s.PerShard {
+		sum += l.DeliveryFraction()
+	}
+	return sum / float64(len(s.PerShard))
+}
+
 // String formats the aggregate line followed by one line per shard.
 func (s ShardReplayStats) String() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "shard-replay{shards=%d updates=%d ticks=%d events=%d batches=%d wall=%v throughput=%.0f upd/s busy=%v (%.2fx)}",
+	fmt.Fprintf(&b, "shard-replay{shards=%d updates=%d ticks=%d events=%d batches=%d wall=%v throughput=%.0f upd/s busy=%v eff=%.0f%% delivery=%.2f}",
 		s.Shards, s.Updates, s.Ticks, s.Events, s.Batches, s.Wall.Round(time.Microsecond),
 		s.UpdatesPerSecond(), s.BusyTotal().Round(time.Microsecond),
-		float64(s.BusyTotal())/float64(max(int64(s.Wall), 1)))
+		100*s.ParallelEfficiency(), s.MeanDeliveryFraction())
 	for _, l := range s.PerShard {
-		fmt.Fprintf(&b, "\nshard %d: busy=%v raw-events=%d", l.Shard, l.Busy.Round(time.Microsecond), l.RawEvents)
+		fmt.Fprintf(&b, "\nshard %d: delivered=%d applied=%d (fraction=%.2f) busy=%v raw-events=%d",
+			l.Shard, l.Delivered, l.Applied, l.DeliveryFraction(), l.Busy.Round(time.Microsecond), l.RawEvents)
 	}
 	return b.String()
 }
@@ -155,7 +197,13 @@ func (r *ShardReplay) Stats() ShardReplayStats {
 	s.Events = es.MergedEvents
 	s.PerShard = make([]ShardLoadStats, len(es.Loads))
 	for i, l := range es.Loads {
-		s.PerShard[i] = ShardLoadStats{Shard: l.Shard, Busy: l.Busy, RawEvents: l.RawEvents}
+		s.PerShard[i] = ShardLoadStats{
+			Shard:     l.Shard,
+			Delivered: l.Delivered,
+			Applied:   l.Applied,
+			Busy:      l.Busy,
+			RawEvents: l.RawEvents,
+		}
 	}
 	return s
 }

@@ -12,12 +12,19 @@
 //
 //	benchgate -base base.txt -head head.txt [-max-regress 0.15]
 //	benchgate -snapshot BENCH_PR5.json [-min-decay-speedup 2.0]
+//	benchgate -snapshot BENCH_PR6.json [-min-scoped-speedup 1.5]
 //
-// The second form validates a committed `dyndens bench -json` perf-trajectory
-// snapshot instead of comparing two live runs: it requires the snapshot's
-// batch_compare block to record at least the given epoch-coalescing speedup
-// on the decay-burst segment, so a regenerated snapshot that no longer meets
-// the repo's claim fails CI deterministically (no benchmark noise involved).
+// The -snapshot form validates a committed `dyndens bench -json`
+// perf-trajectory snapshot instead of comparing two live runs, so a
+// regenerated snapshot that no longer meets the repo's claims fails CI
+// deterministically (no benchmark noise involved). Which gates apply follows
+// the snapshot's blocks: a batch_compare block must record at least the
+// given epoch-coalescing speedup on the decay-burst segment, and a scaling
+// block (from `dyndens bench -scale`) must record at least the given
+// scoped-vs-mirror speedup at K=4 — the delivery-policy win at equal
+// parallelism, the core-count-independent headline of scoped shard routing.
+// Explicitly passing a gate's flag makes its block mandatory; a snapshot
+// carrying no gateable block always fails.
 package main
 
 import (
@@ -79,10 +86,17 @@ type snapshot struct {
 		DecaySpeedup   float64 `json:"decay_speedup"`
 		OverallSpeedup float64 `json:"overall_speedup"`
 	} `json:"batch_compare"`
+	Scaling *struct {
+		ScopedK4VsMirrorK4 float64 `json:"scoped_k4_vs_mirror_k4"`
+		ScopedK4VsSingle   float64 `json:"scoped_k4_vs_single"`
+	} `json:"scaling"`
 }
 
-// gateSnapshot validates a committed bench snapshot's batch_compare block.
-func gateSnapshot(path string, minDecaySpeedup float64) {
+// gateSnapshot validates a committed bench snapshot. Each gate applies when
+// its block is present in the snapshot or its floor flag was set explicitly
+// (in which case a missing block is itself a failure); a snapshot with no
+// gateable block fails — committing an ungated snapshot is always a mistake.
+func gateSnapshot(path string, minDecaySpeedup, minScopedSpeedup float64, decaySet, scopedSet bool) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchgate:", err)
@@ -93,15 +107,37 @@ func gateSnapshot(path string, minDecaySpeedup float64) {
 		fmt.Fprintf(os.Stderr, "benchgate: %s: %v\n", path, err)
 		os.Exit(2)
 	}
-	if !s.Batched || s.BatchCompare == nil {
-		fmt.Fprintf(os.Stderr, "benchgate: %s carries no batch_compare block (not a -batch snapshot)\n", path)
-		os.Exit(1)
+	gated := false
+	if s.BatchCompare != nil || decaySet {
+		if !s.Batched || s.BatchCompare == nil {
+			fmt.Fprintf(os.Stderr, "benchgate: %s carries no batch_compare block (not a -batch snapshot)\n", path)
+			os.Exit(1)
+		}
+		fmt.Printf("%s: decay-segment speedup %.2fx (overall %.2fx), floor %.2fx\n",
+			path, s.BatchCompare.DecaySpeedup, s.BatchCompare.OverallSpeedup, minDecaySpeedup)
+		if s.BatchCompare.DecaySpeedup < minDecaySpeedup {
+			fmt.Fprintf(os.Stderr, "benchgate: decay-segment speedup %.2fx below the %.2fx floor\n",
+				s.BatchCompare.DecaySpeedup, minDecaySpeedup)
+			os.Exit(1)
+		}
+		gated = true
 	}
-	fmt.Printf("%s: decay-segment speedup %.2fx (overall %.2fx), floor %.2fx\n",
-		path, s.BatchCompare.DecaySpeedup, s.BatchCompare.OverallSpeedup, minDecaySpeedup)
-	if s.BatchCompare.DecaySpeedup < minDecaySpeedup {
-		fmt.Fprintf(os.Stderr, "benchgate: decay-segment speedup %.2fx below the %.2fx floor\n",
-			s.BatchCompare.DecaySpeedup, minDecaySpeedup)
+	if s.Scaling != nil || scopedSet {
+		if s.Scaling == nil || s.Scaling.ScopedK4VsMirrorK4 == 0 {
+			fmt.Fprintf(os.Stderr, "benchgate: %s carries no scaling block with a scoped/mirror K=4 ratio (not a -scale 0,...,4 snapshot)\n", path)
+			os.Exit(1)
+		}
+		fmt.Printf("%s: scoped-vs-mirror K=4 speedup %.2fx (vs single %.2fx), floor %.2fx\n",
+			path, s.Scaling.ScopedK4VsMirrorK4, s.Scaling.ScopedK4VsSingle, minScopedSpeedup)
+		if s.Scaling.ScopedK4VsMirrorK4 < minScopedSpeedup {
+			fmt.Fprintf(os.Stderr, "benchgate: scoped-vs-mirror K=4 speedup %.2fx below the %.2fx floor\n",
+				s.Scaling.ScopedK4VsMirrorK4, minScopedSpeedup)
+			os.Exit(1)
+		}
+		gated = true
+	}
+	if !gated {
+		fmt.Fprintf(os.Stderr, "benchgate: %s carries no gateable block (want batch_compare or scaling)\n", path)
 		os.Exit(1)
 	}
 }
@@ -112,9 +148,19 @@ func main() {
 	maxRegress := flag.Float64("max-regress", 0.15, "maximum allowed ns/op regression as a fraction (0.15 = +15%)")
 	snapshotPath := flag.String("snapshot", "", "validate a committed `dyndens bench -json` snapshot instead of comparing two bench runs")
 	minDecaySpeedup := flag.Float64("min-decay-speedup", 2.0, "with -snapshot: minimum required batched-vs-sequential speedup on the decay segment")
+	minScopedSpeedup := flag.Float64("min-scoped-speedup", 1.5, "with -snapshot: minimum required scoped-vs-mirror delivery speedup at K=4 in the scaling block")
 	flag.Parse()
+	decaySet, scopedSet := false, false
+	flag.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "min-decay-speedup":
+			decaySet = true
+		case "min-scoped-speedup":
+			scopedSet = true
+		}
+	})
 	if *snapshotPath != "" {
-		gateSnapshot(*snapshotPath, *minDecaySpeedup)
+		gateSnapshot(*snapshotPath, *minDecaySpeedup, *minScopedSpeedup, decaySet, scopedSet)
 		return
 	}
 	if *basePath == "" || *headPath == "" {
