@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"dyndens/internal/core"
+	"dyndens/internal/serve"
 	"dyndens/internal/shard"
 	"dyndens/internal/story"
 	"dyndens/internal/stream"
@@ -121,6 +122,53 @@ type benchResult struct {
 	// provenance. DecaySpeedup is the headline epoch-coalescing gain: batched
 	// vs sequential upd/s on the epoch-decay-burst segment.
 	BatchCompare *batchCompareResult `json:"batch_compare,omitempty"`
+
+	// Serve is present for -serve-readers runs: the closed-loop read-path
+	// report (QPS and latency percentiles of snapshot + top-k + story
+	// fetches issued concurrently with the measured replay) plus the view's
+	// publication counters. The CI gate reads ReadQPS as a floor.
+	Serve *serveBenchResult `json:"serve,omitempty"`
+}
+
+// serveBenchResult is the JSON serve block: what N concurrent readers saw
+// while the writer ingested the measured workload.
+type serveBenchResult struct {
+	Readers         int     `json:"readers"`
+	TopK            int     `json:"top_k"`
+	Reads           uint64  `json:"reads"`
+	ReadQPS         float64 `json:"read_qps"`
+	P50Ns           int64   `json:"p50_ns"`
+	P95Ns           int64   `json:"p95_ns"`
+	P99Ns           int64   `json:"p99_ns"`
+	Samples         int     `json:"samples"`
+	WallNs          int64   `json:"wall_ns"`
+	EpochsPublished uint64  `json:"epochs_published"`
+	Boundaries      uint64  `json:"boundaries"`
+	StoriesFinal    int     `json:"stories_final"`
+}
+
+func newServeBenchResult(st serve.LoadStats, v *serve.View) *serveBenchResult {
+	vs := v.Stats()
+	return &serveBenchResult{
+		Readers:         st.Readers,
+		TopK:            st.TopK,
+		Reads:           st.Reads,
+		ReadQPS:         st.QPS(),
+		P50Ns:           st.P50.Nanoseconds(),
+		P95Ns:           st.P95.Nanoseconds(),
+		P99Ns:           st.P99.Nanoseconds(),
+		Samples:         st.Samples,
+		WallNs:          st.Wall.Nanoseconds(),
+		EpochsPublished: vs.Publishes,
+		Boundaries:      vs.Boundaries,
+		StoriesFinal:    vs.Stories,
+	}
+}
+
+func printServeSummary(st serve.LoadStats, v *serve.View) {
+	vs := v.Stats()
+	fmt.Printf("serve:  readers=%d k=%d reads=%d (%.0f reads/s) p50=%v p95=%v p99=%v epochs=%d stories=%d\n",
+		st.Readers, st.TopK, st.Reads, st.QPS(), st.P50, st.P95, st.P99, vs.Publishes, vs.Stories)
 }
 
 // segmentResult is one provenance segment of a replay in the JSON output.
@@ -366,6 +414,8 @@ func cmdBench(args []string) error {
 	docStorySize := fs.Int("doc-story-size", 4, "entities per planted story (with -docs)")
 	epoch := fs.Int64("epoch", 25, "fading epoch length in document time units (with -docs)")
 	decay := fs.Float64("decay", 0.7, "per-epoch fading factor (with -docs)")
+	serveReaders := fs.Int("serve-readers", 0, "run N concurrent closed-loop snapshot readers (top-k + story fetches) against the live story view during the measured replay and report read QPS and latency percentiles as the JSON serve block; the readers share the process, so writer throughput and alloc counters include their cost (0 = off)")
+	serveK := fs.Int("serve-k", 10, "top-k size each serve reader queries (with -serve-readers)")
 	newEngineCfg := engineFlags(fs, 3, 5)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -381,6 +431,12 @@ func cmdBench(args []string) error {
 		if err := checkDecay(*decay); err != nil {
 			return fmt.Errorf("bench: %w", err)
 		}
+	}
+	if *serveReaders < 0 {
+		return fmt.Errorf("bench: -serve-readers must be ≥ 0, got %d", *serveReaders)
+	}
+	if *serveReaders > 0 && *serveK <= 0 {
+		return fmt.Errorf("bench: -serve-k must be ≥ 1, got %d", *serveK)
 	}
 
 	// The -docs pipeline replays aggregated co-occurrence updates into the
@@ -470,6 +526,9 @@ func cmdBench(args []string) error {
 		if *shards > 0 || *docsMode {
 			return fmt.Errorf("bench: -scale is incompatible with -shards and -docs")
 		}
+		if *serveReaders > 0 {
+			return fmt.Errorf("bench: -scale is incompatible with -serve-readers")
+		}
 		ks, err := parseScaleList(*scaleList)
 		if err != nil {
 			return err
@@ -488,7 +547,8 @@ func cmdBench(args []string) error {
 		if *jsonOut == "" {
 			return nil
 		}
-		if tracker != nil {
+		// docAgg is nil when a raw workload carries a serving-only tracker.
+		if tracker != nil && docAgg != nil {
 			result.DocPipeline = newDocPipelineResult(*docStories, *docStorySize, docAgg.Config(), docAgg.Stats(), tracker)
 			result.Workload.NegativeFraction, result.Workload.MeanDelta = 0, 0
 		}
@@ -513,11 +573,27 @@ func cmdBench(args []string) error {
 			return err
 		}
 		defer se.Close()
-		if tracker != nil {
+		// With -serve-readers the tracker is wrapped in a snapshot-publishing
+		// view builder and the closed-loop readers run for the whole replay;
+		// raw (non -docs) workloads get a tracker just for serving.
+		var bld *serve.Builder
+		if *serveReaders > 0 {
+			if tracker == nil {
+				if tracker, err = story.NewTracker(story.Config{Grace: grace, MinCardinality: 3}); err != nil {
+					return err
+				}
+			}
+			bld = serve.NewBuilder(tracker)
+			se.SetSeqSink(bld)
+		} else if tracker != nil {
 			se.SetSeqSink(tracker)
 		}
 		sink := &core.CountingSink{}
 		r := stream.NewShardReplay(src, se, sink)
+		var ld *serve.Load
+		if bld != nil {
+			ld = serve.StartLoad(bld.View(), serve.LoadConfig{Readers: *serveReaders, TopK: *serveK, Seed: 1})
+		}
 		mem := takeMemSnapshot()
 		var st stream.ShardReplayStats
 		if *batchMode {
@@ -538,9 +614,18 @@ func cmdBench(args []string) error {
 		fmt.Println(st)
 		fmt.Printf("sink:   became=%d ceased=%d (net output-dense=%d, deduped=%d)\n",
 			sink.Became, sink.Ceased, se.OutputDenseCount(), stats.DedupedEvents)
-		if tracker != nil {
+		var loadStats serve.LoadStats
+		if bld != nil {
+			bld.Close(uint64(st.Ticks))
+			loadStats = ld.Stop()
+		} else if tracker != nil {
 			tracker.Close(uint64(st.Ticks))
+		}
+		if tracker != nil && agg != nil {
 			printDocBenchSummary(agg, tracker)
+		}
+		if bld != nil {
+			printServeSummary(loadStats, bld.View())
 		}
 		fmt.Println(shardedSummary(stats))
 		if *jsonOut != "" {
@@ -562,6 +647,9 @@ func cmdBench(args []string) error {
 				result.PerShardDelivered = append(result.PerShardDelivered, load.Delivered)
 				result.PerShardApplied = append(result.PerShardApplied, load.Applied)
 			}
+			if bld != nil {
+				result.Serve = newServeBenchResult(loadStats, bld.View())
+			}
 			return finishJSON(agg, tracker)
 		}
 		return nil
@@ -577,6 +665,8 @@ func cmdBench(args []string) error {
 		sink    *core.CountingSink
 		agg     *stream.Aggregator
 		tracker *story.Tracker
+		bld     *serve.Builder
+		load    serve.LoadStats
 		st      stream.ReplayStats
 		allocs  float64
 		bytes   float64
@@ -595,11 +685,29 @@ func cmdBench(args []string) error {
 			return nil, err
 		}
 		run := &singleRun{eng: eng, sink: &core.CountingSink{}, agg: agg, tracker: tracker}
+		// Serve readers attach only to the measured pass (coalesce is always
+		// true for it), never to the -batch sequential baseline; raw
+		// workloads get a tracker just for serving.
+		if *serveReaders > 0 && coalesce {
+			if run.tracker == nil {
+				if run.tracker, err = story.NewTracker(story.Config{Grace: grace, MinCardinality: 3}); err != nil {
+					return nil, err
+				}
+			}
+			run.bld = serve.NewBuilder(run.tracker)
+		}
 		engSink := core.EventSink(run.sink)
-		if tracker != nil {
-			engSink = core.MultiSink{run.sink, tracker}
+		switch {
+		case run.bld != nil:
+			engSink = core.MultiSink{run.sink, run.bld}
+		case run.tracker != nil:
+			engSink = core.MultiSink{run.sink, run.tracker}
 		}
 		r := stream.NewReplay(src, eng, engSink)
+		var ld *serve.Load
+		if run.bld != nil {
+			ld = serve.StartLoad(run.bld.View(), serve.LoadConfig{Readers: *serveReaders, TopK: *serveK, Seed: 1})
+		}
 		mem := takeMemSnapshot()
 		if *batchMode {
 			run.st, err = r.RunBatches(*readBatch, coalesce)
@@ -610,8 +718,11 @@ func cmdBench(args []string) error {
 			return nil, err
 		}
 		run.allocs, run.bytes = mem.perUpdate(run.st.Updates)
-		if tracker != nil {
-			tracker.Close(uint64(run.st.Ticks))
+		if run.bld != nil {
+			run.bld.Close(uint64(run.st.Ticks))
+			run.load = ld.Stop()
+		} else if run.tracker != nil {
+			run.tracker.Close(uint64(run.st.Ticks))
 		}
 		return run, nil
 	}
@@ -651,8 +762,11 @@ func cmdBench(args []string) error {
 	}
 	fmt.Printf("sink:   became=%d ceased=%d (net output-dense=%d)\n",
 		measured.sink.Became, measured.sink.Ceased, measured.eng.OutputDenseCount())
-	if measured.tracker != nil {
+	if measured.tracker != nil && measured.agg != nil {
 		printDocBenchSummary(measured.agg, measured.tracker)
+	}
+	if measured.bld != nil {
+		printServeSummary(measured.load, measured.bld.View())
 	}
 	fmt.Println(engineSummary(measured.eng))
 	if *jsonOut != "" {
@@ -672,6 +786,9 @@ func cmdBench(args []string) error {
 				DecaySpeedup:   speedup(measured.st.DecaySeg.UpdatesPerSecond(), seq.st.DecaySeg.UpdatesPerSecond()),
 				OverallSpeedup: speedup(measured.st.UpdatesPerSecond(), seq.st.UpdatesPerSecond()),
 			}
+		}
+		if measured.bld != nil {
+			result.Serve = newServeBenchResult(measured.load, measured.bld.View())
 		}
 		return finishJSON(measured.agg, measured.tracker)
 	}

@@ -11,6 +11,9 @@
 //	stories  the document pipeline: generate document streams (gen-docs) and
 //	         run documents → co-occurrence updates → engine → story tracker,
 //	         printing the story lifecycle log and the final story table (run)
+//	serve    ingest a document stream while serving the live story table over
+//	         HTTP: snapshot reads, ranked top-k, per-entity lookup, and an
+//	         SSE lifecycle stream, all concurrent with the writer
 //
 // Run `dyndens <subcommand> -h` for the flags of each subcommand.
 package main
@@ -44,6 +47,8 @@ func main() {
 		err = cmdBench(os.Args[2:])
 	case "stories":
 		err = cmdStories(os.Args[2:])
+	case "serve":
+		err = cmdServe(os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -65,6 +70,8 @@ subcommands:
   run      replay an update stream from a file or stdin, printing events
   bench    replay a synthetic stream end-to-end and print a perf summary
   stories  document pipeline: gen-docs / run (documents in, stories out)
+  serve    ingest a document stream while serving the live story table,
+           ranked top-k queries and a lifecycle event stream over HTTP
 `)
 }
 

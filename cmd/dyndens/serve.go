@@ -1,0 +1,263 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"dyndens/internal/core"
+	"dyndens/internal/serve"
+	"dyndens/internal/shard"
+	"dyndens/internal/story"
+	"dyndens/internal/stream"
+)
+
+// serveTestHooks lets the CLI tests observe the bound address and trigger a
+// shutdown without signals. Both are nil outside tests.
+var (
+	serveListenerReady func(addr net.Addr)
+	serveShutdown      chan struct{}
+)
+
+// cmdServe is the long-lived story service: it ingests a document stream
+// (file, stdin, or the synthetic generator) through the aggregation → engine
+// → story-tracking pipeline while serving the current story table over HTTP
+// the whole time. The writer publishes an immutable snapshot of the table at
+// every update boundary that changes it, so concurrent readers always see an
+// internally consistent state and never block ingestion.
+//
+// Endpoints: /healthz, /stats, /stories/top?k=, /stories/{id},
+// /entities/{e}, and /events (SSE lifecycle stream). By default the server
+// keeps serving the final table after the input is exhausted; -exit-after-ingest
+// shuts down once ingestion (plus -linger) completes, for scripted runs.
+func cmdServe(args []string) error {
+	fs := flag.NewFlagSet("dyndens serve", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:8080", "HTTP listen address (host:port; port 0 picks a free one)")
+	input := fs.String("input", "", "document stream path (- for stdin); empty = generate with -synth flags")
+	batch := fs.Int("read-batch", 256, "micro-batch size for the replay driver (unused with -batch: the aggregator's own epoch/document batches are never split)")
+	batchMode := fs.Bool("batch", false, "epoch coalescing: ship each decay burst and each document's deltas whole as one Engine.ProcessBatch (story grace then counts batch ticks)")
+	shards := fs.Int("shards", 0, "partition the engine across K workers (0 = single-threaded)")
+	newOverlap := overlapFlag(fs)
+	quiet := fs.Bool("quiet", false, "suppress the streaming lifecycle log on stdout")
+	exitAfter := fs.Bool("exit-after-ingest", false, "shut down once the input is exhausted instead of serving the final table indefinitely")
+	linger := fs.Duration("linger", 0, "with -exit-after-ingest: keep serving this long after ingestion completes")
+	newSynthCfg := docSynthFlags(fs)
+	newAggCfg := aggregatorFlags(fs)
+	newTrkCfg := trackerFlags(fs)
+	newEngineCfg := engineFlags(fs, 6.5, 4)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := rejectPositionalArgs(fs, "dyndens serve"); err != nil {
+		return err
+	}
+	if *shards < 0 {
+		return fmt.Errorf("serve: -shards must be ≥ 0, got %d", *shards)
+	}
+	if _, err := newOverlap(); err != nil {
+		return err
+	}
+	engCfg, err := newEngineCfg()
+	if err != nil {
+		return err
+	}
+	aggCfg, err := newAggCfg()
+	if err != nil {
+		return err
+	}
+	trkCfg, err := newTrkCfg()
+	if err != nil {
+		return err
+	}
+
+	var docs stream.DocumentSource
+	switch {
+	case *input == "":
+		cfg, err := newSynthCfg()
+		if err != nil {
+			return err
+		}
+		gen, err := stream.NewDocSynthetic(cfg)
+		if err != nil {
+			return err
+		}
+		docs = gen
+	case *input == "-":
+		docs = stream.NewDocReaderSource("stdin", os.Stdin)
+	default:
+		f, err := stream.OpenDocFile(*input)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		docs = f
+	}
+
+	agg, err := stream.NewAggregator(docs, aggCfg)
+	if err != nil {
+		return err
+	}
+	tracker, err := story.NewTracker(trkCfg)
+	if err != nil {
+		return err
+	}
+	bld := serve.NewBuilder(tracker)
+	hub := serve.NewHub()
+	if *quiet {
+		bld.SetRecordSink(hub.Publish)
+	} else {
+		bld.SetRecordSink(func(r story.Record) {
+			fmt.Println(r)
+			hub.Publish(r)
+		})
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("serving on http://%s\n", ln.Addr())
+	if serveListenerReady != nil {
+		serveListenerReady(ln.Addr())
+	}
+
+	// ingestState feeds the /stats "writer" block; the final summary is
+	// attached once ingestion completes.
+	type ingestSummary struct {
+		Complete         bool    `json:"complete"`
+		Updates          int     `json:"updates,omitempty"`
+		Ticks            int     `json:"ticks,omitempty"`
+		UpdatesPerSecond float64 `json:"updates_per_second,omitempty"`
+	}
+	var ingestState atomic.Pointer[ingestSummary]
+	ingestState.Store(&ingestSummary{})
+
+	srv := serve.NewServer(bld.View(), hub)
+	srv.Extra = func() any { return ingestState.Load() }
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	httpDone := make(chan error, 1)
+	go func() { httpDone <- httpSrv.Serve(ln) }()
+
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+
+	// The writer goroutine owns the whole ingestion pipeline; the builder
+	// publishes snapshots at update boundaries, so the HTTP readers and the
+	// SSE hub observe the stream live.
+	ingestDone := make(chan error, 1)
+	go func() {
+		var summarize func()
+		var err error
+		if *shards > 0 {
+			overlap, oerr := newOverlap()
+			if oerr != nil {
+				ingestDone <- oerr
+				return
+			}
+			se, serr := shard.New(shard.Config{Shards: *shards, Engine: engCfg, Overlap: overlap})
+			if serr != nil {
+				ingestDone <- serr
+				return
+			}
+			defer se.Close()
+			se.SetSeqSink(bld)
+			r := stream.NewShardReplay(agg, se, nil)
+			var st stream.ShardReplayStats
+			if *batchMode {
+				st, err = r.RunBatches(*batch)
+			} else {
+				st, err = r.Run(*batch)
+			}
+			if err == nil {
+				bld.Close(uint64(st.Ticks))
+				ingestState.Store(&ingestSummary{Complete: true, Updates: st.Updates, Ticks: st.Ticks, UpdatesPerSecond: st.UpdatesPerSecond()})
+				summarize = func() {
+					fmt.Println(st)
+					fmt.Println(agg.Stats())
+					printStoryTable(tracker)
+					fmt.Println(shardedSummary(se.Stats()))
+				}
+			}
+		} else {
+			eng, cerr := core.New(engCfg)
+			if cerr != nil {
+				ingestDone <- cerr
+				return
+			}
+			r := stream.NewReplay(agg, eng, bld)
+			var st stream.ReplayStats
+			if *batchMode {
+				st, err = r.RunBatches(*batch, true)
+			} else {
+				st, err = r.Run(*batch)
+			}
+			if err == nil {
+				bld.Close(uint64(st.Ticks))
+				ingestState.Store(&ingestSummary{Complete: true, Updates: st.Updates, Ticks: st.Ticks, UpdatesPerSecond: st.UpdatesPerSecond()})
+				summarize = func() {
+					fmt.Println(st)
+					fmt.Println(agg.Stats())
+					printStoryTable(tracker)
+					fmt.Println(engineSummary(eng))
+				}
+			}
+		}
+		if err != nil {
+			ingestDone <- err
+			return
+		}
+		if summarize != nil {
+			summarize()
+		}
+		ingestDone <- nil
+	}()
+
+	shutdown := func() error {
+		sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		return httpSrv.Shutdown(sctx)
+	}
+
+	var ingestErr error
+	select {
+	case <-ctx.Done():
+		// Interrupted mid-ingest: stop serving; the writer goroutine is
+		// abandoned with the process.
+		return shutdown()
+	case <-serveShutdown:
+		return shutdown()
+	case ingestErr = <-ingestDone:
+		if ingestErr != nil {
+			shutdown()
+			return ingestErr
+		}
+	}
+
+	if *exitAfter {
+		if *linger > 0 {
+			select {
+			case <-time.After(*linger):
+			case <-ctx.Done():
+			}
+		}
+		return shutdown()
+	}
+	fmt.Println("ingestion complete; serving the final table (interrupt to stop)")
+	select {
+	case <-ctx.Done():
+	case <-serveShutdown:
+	case err := <-httpDone:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			return err
+		}
+	}
+	return shutdown()
+}

@@ -133,12 +133,18 @@ func checkDecay(decay float64) error {
 // trackerFlags registers the story-identity flags.
 func trackerFlags(fs *flag.FlagSet) func() (story.Config, error) {
 	jaccard := fs.Float64("jaccard", 0.5, "continuity threshold: Jaccard similarity for a subgraph to join a story")
-	grace := fs.Uint64("grace", 350, "updates a story survives with no output-dense subgraph")
+	grace := fs.Uint64("grace", 350, "updates a story survives with no output-dense subgraph (0 = none: die at the first update after fading)")
 	minCard := fs.Int("min-card", 3, "ignore output-dense subgraphs smaller than this")
 	return func() (story.Config, error) {
+		// On the command line 0 means "no grace at all"; the config layer
+		// spells that story.GraceNone (its 0 selects the built-in default).
+		g := *grace
+		if g == 0 {
+			g = story.GraceNone
+		}
 		return story.Config{
 			MinJaccard:     *jaccard,
-			Grace:          *grace,
+			Grace:          g,
 			MinCardinality: *minCard,
 		}, nil
 	}

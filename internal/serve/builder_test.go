@@ -1,0 +1,400 @@
+package serve
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+	"sync"
+	"testing"
+
+	"dyndens/internal/core"
+	"dyndens/internal/shard"
+	"dyndens/internal/story"
+	"dyndens/internal/stream"
+)
+
+// storyWorkload mirrors the story package's reference pipeline workload:
+// planted stories over background chatter, parameters chosen so the stream
+// exercises birth, merge, split, fading blips, and death.
+type storyWorkload struct {
+	doc stream.DocSynthConfig
+	agg stream.AggregatorConfig
+	eng core.Config
+	trk story.Config
+}
+
+func defaultWorkload() storyWorkload {
+	return storyWorkload{
+		doc: stream.DocSynthConfig{
+			BackgroundEntities: 30,
+			Stories:            3,
+			StorySize:          4,
+			Docs:               600,
+			Seed:               7,
+			StoryFraction:      0.75,
+			BackgroundSkew:     1.1,
+			NoiseMentionProb:   -1,
+		},
+		agg: stream.AggregatorConfig{EpochLength: 25, Decay: 0.7},
+		eng: core.Config{T: 6.5, Nmax: 4},
+		trk: story.Config{MinCardinality: 3, Grace: 350},
+	}
+}
+
+func (w storyWorkload) updates(t *testing.T) []stream.Update {
+	t.Helper()
+	gen := stream.MustDocSynthetic(w.doc)
+	updates, err := stream.Drain(stream.MustAggregator(gen, w.agg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return updates
+}
+
+// validateSnapshot checks every internal-consistency invariant a published
+// snapshot promises its readers. It is pure, so the concurrent-reader test
+// can run it against live snapshots.
+func validateSnapshot(s *Snapshot) error {
+	rankedPos := make(map[story.ID]int, len(s.Ranked))
+	for i, r := range s.Ranked {
+		if i > 0 && rankLess(r, s.Ranked[i-1]) {
+			return fmt.Errorf("epoch %d: ranking unordered at %d: %v then %v", s.Epoch, i, s.Ranked[i-1], r)
+		}
+		if _, dup := rankedPos[r.Story]; dup {
+			return fmt.Errorf("epoch %d: story %d ranked twice", s.Epoch, r.Story)
+		}
+		rankedPos[r.Story] = i
+		e, ok := s.Stories[r.Story]
+		if !ok {
+			return fmt.Errorf("epoch %d: ranked story %d missing from table", s.Epoch, r.Story)
+		}
+		if e.Fading {
+			return fmt.Errorf("epoch %d: fading story %d is ranked", s.Epoch, r.Story)
+		}
+		if e.Density != r.Density {
+			return fmt.Errorf("epoch %d: story %d ranked at %v but entry density %v", s.Epoch, r.Story, r.Density, e.Density)
+		}
+	}
+
+	var keys []string
+	for id, e := range s.Stories {
+		if e.ID != id {
+			return fmt.Errorf("epoch %d: entry keyed %d carries ID %d", s.Epoch, id, e.ID)
+		}
+		if e.Fading != (len(e.Subgraphs) == 0) {
+			return fmt.Errorf("epoch %d: story %d fading=%v with %d subgraphs", s.Epoch, id, e.Fading, len(e.Subgraphs))
+		}
+		if _, ok := rankedPos[id]; ok != !e.Fading {
+			return fmt.Errorf("epoch %d: story %d fading=%v, ranked=%v", s.Epoch, id, e.Fading, ok)
+		}
+		maxD := 0.0
+		for i, sg := range e.Subgraphs {
+			if i > 0 && sg.Key <= e.Subgraphs[i-1].Key {
+				return fmt.Errorf("epoch %d: story %d subgraphs unordered", s.Epoch, id)
+			}
+			if sg.Density > maxD {
+				maxD = sg.Density
+			}
+			keys = append(keys, sg.Key)
+		}
+		if !e.Fading && e.Density != maxD {
+			return fmt.Errorf("epoch %d: story %d density %v != max subgraph density %v", s.Epoch, id, e.Density, maxD)
+		}
+		for _, v := range e.Entities {
+			ids := s.ByEntity[v]
+			i := sort.Search(len(ids), func(k int) bool { return ids[k] >= id })
+			if i >= len(ids) || ids[i] != id {
+				return fmt.Errorf("epoch %d: story %d has entity %d but is missing from its posting", s.Epoch, id, v)
+			}
+		}
+	}
+	sort.Strings(keys)
+	if !reflect.DeepEqual(keys, s.LiveKeys) && !(len(keys) == 0 && len(s.LiveKeys) == 0) {
+		return fmt.Errorf("epoch %d: union of entry subgraphs %v != LiveKeys %v", s.Epoch, keys, s.LiveKeys)
+	}
+	for v, ids := range s.ByEntity {
+		if len(ids) == 0 {
+			return fmt.Errorf("epoch %d: empty posting for entity %d", s.Epoch, v)
+		}
+		for i, id := range ids {
+			if i > 0 && ids[i-1] >= id {
+				return fmt.Errorf("epoch %d: posting for entity %d unordered", s.Epoch, v)
+			}
+			e, ok := s.Stories[id]
+			if !ok {
+				return fmt.Errorf("epoch %d: posting for entity %d names missing story %d", s.Epoch, v, id)
+			}
+			if !e.Entities.Contains(v) {
+				return fmt.Errorf("epoch %d: story %d posted for entity %d it does not contain", s.Epoch, id, v)
+			}
+		}
+	}
+	return nil
+}
+
+// checkMatchesTracker asserts the published snapshot equals the wrapped
+// tracker's story table row for row.
+func checkMatchesTracker(t *testing.T, b *Builder) {
+	t.Helper()
+	snap := b.View().Snapshot()
+	rows := b.Tracker().Stories()
+	if len(snap.Stories) != len(rows) {
+		t.Fatalf("view has %d stories, tracker %d", len(snap.Stories), len(rows))
+	}
+	for _, row := range rows {
+		e, ok := snap.Stories[row.ID]
+		if !ok {
+			t.Fatalf("story %d in tracker table but not in view", row.ID)
+		}
+		if !e.Entities.Equal(row.Entities) {
+			t.Errorf("story %d entities: view %v, tracker %v", row.ID, e.Entities, row.Entities)
+		}
+		if len(e.Subgraphs) != row.Subgraphs {
+			t.Errorf("story %d subgraphs: view %d, tracker %d", row.ID, len(e.Subgraphs), row.Subgraphs)
+		}
+		if e.BornSeq != row.BornSeq || e.LastSeq != row.LastSeq {
+			t.Errorf("story %d seqs: view (%d,%d), tracker (%d,%d)", row.ID, e.BornSeq, e.LastSeq, row.BornSeq, row.LastSeq)
+		}
+		if e.Fading != row.Fading {
+			t.Errorf("story %d fading: view %v, tracker %v", row.ID, e.Fading, row.Fading)
+		}
+	}
+	if got, want := snap.LiveKeys, b.Tracker().LiveKeys(); !reflect.DeepEqual(got, want) && len(want) > 0 {
+		t.Errorf("view live keys %v != tracker %v", got, want)
+	}
+	if err := validateSnapshot(snap); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestBuilderMatchesTracker drives the reference workload through a single
+// engine with the builder in the sink position and requires the final
+// published snapshot to match the tracker's own table — the builder's whole
+// claim is that the view is the tracker, served.
+func TestBuilderMatchesTracker(t *testing.T) {
+	w := defaultWorkload()
+	updates := w.updates(t)
+	eng := core.MustNew(w.eng)
+	b := NewBuilder(story.MustTracker(w.trk))
+	eng.SetSink(b)
+	for _, u := range updates {
+		eng.Process(u)
+	}
+	b.Close(uint64(len(updates)))
+
+	st := b.Tracker().Stats()
+	if st.Born == 0 || st.Merged == 0 || st.Split == 0 || st.Died == 0 {
+		t.Fatalf("workload lifecycle coverage too weak: %+v", st)
+	}
+	if len(b.View().Snapshot().Stories) == 0 {
+		t.Fatal("final view is empty")
+	}
+	checkMatchesTracker(t, b)
+	vs := b.View().Stats()
+	if vs.Publishes == 0 || vs.Boundaries == 0 || vs.Records == 0 {
+		t.Fatalf("view counters did not move: %+v", vs)
+	}
+	if vs.LastSeq != uint64(len(updates)) {
+		t.Fatalf("LastSeq = %d, want %d", vs.LastSeq, len(updates))
+	}
+}
+
+// entryFingerprint flattens a snapshot to a deterministic comparable form.
+func entryFingerprint(s *Snapshot) []string {
+	var out []string
+	ids := make([]story.ID, 0, len(s.Stories))
+	for id := range s.Stories {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		e := s.Stories[id]
+		out = append(out, fmt.Sprintf("%d|%s|%v|%v|%d|%d|%v", e.ID, e.Entities.Key(), e.Subgraphs, e.Density, e.BornSeq, e.LastSeq, e.Fading))
+	}
+	out = append(out, fmt.Sprintf("ranked=%v", s.Ranked))
+	return out
+}
+
+// TestBuilderShardedConformance requires the K-shard merged stream to
+// publish the identical final snapshot as the single engine, K ∈ {1, 2, 4}.
+func TestBuilderShardedConformance(t *testing.T) {
+	w := defaultWorkload()
+	updates := w.updates(t)
+
+	eng := core.MustNew(w.eng)
+	ref := NewBuilder(story.MustTracker(w.trk))
+	eng.SetSink(ref)
+	for _, u := range updates {
+		eng.Process(u)
+	}
+	ref.Close(uint64(len(updates)))
+	want := entryFingerprint(ref.View().Snapshot())
+
+	for _, k := range []int{1, 2, 4} {
+		t.Run(fmt.Sprintf("K=%d", k), func(t *testing.T) {
+			se := shard.MustNew(shard.Config{Shards: k, Engine: w.eng, BatchSize: 64})
+			defer se.Close()
+			b := NewBuilder(story.MustTracker(w.trk))
+			se.SetSeqSink(b)
+			se.ProcessAll(updates)
+			se.Flush()
+			b.Close(uint64(len(updates)))
+
+			checkMatchesTracker(t, b)
+			if got := entryFingerprint(b.View().Snapshot()); !reflect.DeepEqual(got, want) {
+				t.Fatalf("K=%d final snapshot diverges from single engine:\nsharded %v\nsingle  %v", k, got, want)
+			}
+			if !reflect.DeepEqual(b.Tracker().Records(), ref.Tracker().Records()) {
+				t.Fatalf("K=%d lifecycle records diverge", k)
+			}
+		})
+	}
+}
+
+// TestBuilderLiveKeysMatchEngine pins the serving result-set contract
+// per update: with no cardinality gate, the view's live-key universe is
+// exactly the engine's output-dense set after every update, and every
+// intermediate snapshot is internally consistent.
+func TestBuilderLiveKeysMatchEngine(t *testing.T) {
+	updates, err := stream.Drain(stream.MustSynthetic(stream.SynthConfig{
+		Vertices:         12,
+		Updates:          400,
+		Seed:             19,
+		NegativeFraction: 0.35,
+		MeanDelta:        1.5,
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := core.MustNew(core.Config{T: 2, Nmax: 4})
+	b := NewBuilder(story.MustTracker(story.Config{Grace: 5}))
+	eng.SetSink(b)
+	checked := 0
+	for i, u := range updates {
+		eng.Process(u)
+		snap := b.View().Snapshot()
+		if err := validateSnapshot(snap); err != nil {
+			t.Fatalf("after update %d: %v", i+1, err)
+		}
+		want := eng.OutputDenseKeys()
+		if len(want) == 0 && len(snap.LiveKeys) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(snap.LiveKeys, want) {
+			t.Fatalf("after update %d: view live keys %v != engine %v", i+1, snap.LiveKeys, want)
+		}
+		checked++
+	}
+	if checked == 0 {
+		t.Fatal("stream never produced a non-empty result set")
+	}
+	b.Close(uint64(len(updates)))
+	checkMatchesTracker(t, b)
+}
+
+// TestBuilderRecordForwarding checks that SetRecordSink observes every
+// lifecycle record, in order, as the tracker produces them.
+func TestBuilderRecordForwarding(t *testing.T) {
+	w := defaultWorkload()
+	updates := w.updates(t)
+	eng := core.MustNew(w.eng)
+	b := NewBuilder(story.MustTracker(w.trk))
+	var got []story.Record
+	b.SetRecordSink(func(r story.Record) { got = append(got, r) })
+	eng.SetSink(b)
+	for _, u := range updates {
+		eng.Process(u)
+	}
+	b.Close(uint64(len(updates)))
+	want := b.Tracker().Records()
+	if len(got) != len(want) {
+		t.Fatalf("forwarded %d records, tracker has %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i].Seq != want[i].Seq || got[i].Kind != want[i].Kind || got[i].Story != want[i].Story || got[i].Other != want[i].Other || !got[i].Entities.Equal(want[i].Entities) {
+			t.Fatalf("record %d: forwarded %v, tracker %v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestSnapshotConsistencyUnderConcurrentReads is the issue's acceptance
+// test: a live writer ingests the stream while N readers continuously load
+// snapshots, assert internal consistency (ranking ordered by density,
+// entries present, live keys matching the entry table), and cross-check
+// each snapshot's live-key universe against the engine's OutputDenseKeys
+// recorded at the same update boundary. Run under -race in CI.
+func TestSnapshotConsistencyUnderConcurrentReads(t *testing.T) {
+	updates, err := stream.Drain(stream.MustSynthetic(stream.SynthConfig{
+		Vertices:         14,
+		Updates:          3000,
+		Seed:             41,
+		NegativeFraction: 0.35,
+		MeanDelta:        1.5,
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := core.MustNew(core.Config{T: 2, Nmax: 4})
+	b := NewBuilder(story.MustTracker(story.Config{Grace: 5}))
+	eng.SetSink(b)
+	view := b.View()
+
+	// history maps update boundary → the engine's output-dense keys at that
+	// boundary, recorded by the writer after each Process returns. Readers
+	// only validate epochs already recorded (a freshly published epoch may
+	// beat the writer's bookkeeping by a moment).
+	var history sync.Map
+
+	const readers = 4
+	stop := make(chan struct{})
+	errc := make(chan error, readers)
+	var wg sync.WaitGroup
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sampled := 0
+			for {
+				select {
+				case <-stop:
+					if sampled == 0 {
+						errc <- fmt.Errorf("reader sampled no snapshots")
+					}
+					return
+				default:
+				}
+				snap := view.Snapshot()
+				if err := validateSnapshot(snap); err != nil {
+					errc <- err
+					return
+				}
+				if want, ok := history.Load(snap.Epoch); ok {
+					wk := want.([]string)
+					if !reflect.DeepEqual(snap.LiveKeys, wk) && !(len(snap.LiveKeys) == 0 && len(wk) == 0) {
+						errc <- fmt.Errorf("epoch %d: snapshot live keys %v != engine %v", snap.Epoch, snap.LiveKeys, wk)
+						return
+					}
+					sampled++
+				}
+			}
+		}()
+	}
+
+	for i, u := range updates {
+		eng.Process(u)
+		seq := uint64(i + 1)
+		if view.Snapshot().Epoch == seq {
+			// Only boundaries that published are observable under this epoch.
+			history.Store(seq, eng.OutputDenseKeys())
+		}
+	}
+	b.Close(uint64(len(updates)))
+	close(stop)
+	wg.Wait()
+	select {
+	case err := <-errc:
+		t.Fatal(err)
+	default:
+	}
+	checkMatchesTracker(t, b)
+}

@@ -1,0 +1,77 @@
+package serve
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+	"time"
+)
+
+func TestPercentile(t *testing.T) {
+	var samples []time.Duration
+	for i := 1; i <= 100; i++ {
+		samples = append(samples, time.Duration(i))
+	}
+	cases := []struct {
+		q    float64
+		want time.Duration
+	}{{0.50, 50}, {0.95, 95}, {0.99, 99}, {1.0, 100}}
+	for _, c := range cases {
+		if got := percentile(append([]time.Duration(nil), samples...), c.q); got != c.want {
+			t.Errorf("p%v = %v, want %v", c.q*100, got, c.want)
+		}
+	}
+	if got := percentile(nil, 0.5); got != 0 {
+		t.Errorf("empty percentile = %v, want 0", got)
+	}
+	if got := percentile([]time.Duration{7}, 0.01); got != 7 {
+		t.Errorf("singleton percentile = %v, want 7", got)
+	}
+}
+
+// TestLoadStatsZeroWall pins the zero-elapsed guard: a run whose measured
+// wall time rounds to zero must report 0 QPS, not +Inf — non-finite floats
+// make json.Marshal fail and would corrupt bench -json output.
+func TestLoadStatsZeroWall(t *testing.T) {
+	st := LoadStats{Readers: 2, Reads: 1000, Wall: 0}
+	if q := st.QPS(); q != 0 {
+		t.Fatalf("QPS of zero-wall run = %v, want 0", q)
+	}
+	out, err := json.Marshal(struct {
+		QPS float64 `json:"read_qps"`
+		LoadStats
+	}{QPS: st.QPS(), LoadStats: st})
+	if err != nil {
+		t.Fatalf("marshalling zero-duration stats: %v", err)
+	}
+	var back map[string]any
+	if err := json.Unmarshal(out, &back); err != nil {
+		t.Fatal(err)
+	}
+	if q := back["read_qps"].(float64); math.IsInf(q, 0) || math.IsNaN(q) {
+		t.Fatalf("non-finite read_qps %v survived marshalling", q)
+	}
+}
+
+func TestLoadHarness(t *testing.T) {
+	b := testBuilder(t)
+	l := StartLoad(b.View(), LoadConfig{Readers: 3, TopK: 2, SampleCap: 128, Seed: 1})
+	time.Sleep(50 * time.Millisecond)
+	st := l.Stop()
+
+	if st.Readers != 3 || st.TopK != 2 {
+		t.Fatalf("config not echoed: %+v", st)
+	}
+	if st.Reads == 0 {
+		t.Fatal("closed-loop readers performed no reads")
+	}
+	if st.Samples == 0 || st.Samples > 3*128 {
+		t.Fatalf("samples = %d, want within (0, %d]", st.Samples, 3*128)
+	}
+	if st.P50 > st.P95 || st.P95 > st.P99 {
+		t.Fatalf("percentiles unordered: p50=%v p95=%v p99=%v", st.P50, st.P95, st.P99)
+	}
+	if st.QPS() <= 0 {
+		t.Fatalf("QPS = %v, want > 0", st.QPS())
+	}
+}

@@ -1,0 +1,123 @@
+package serve
+
+import (
+	"sort"
+
+	"dyndens/internal/story"
+)
+
+// Rank is one entry of the density-ordered story ranking: a story ID with
+// the density that positions it.
+type Rank struct {
+	Story   story.ID
+	Density float64
+}
+
+// RankedIndex is the incrementally maintained density-ordered result set
+// behind top-k story queries (cf. Nasir et al., "Fully Dynamic Top-k Densest
+// Subgraphs": the ranked read path is an ordered structure kept current by
+// the update stream, not a scan at query time). It holds one entry per live
+// story, ordered by density descending with ties broken toward the lower
+// (older) story ID.
+//
+// Set and Remove are the write-path operations the serving builder folds
+// engine events into: a binary search plus an O(n) memmove on the order
+// slice — n being the number of *live stories*, not the stream length — and
+// the position map keeps them idempotent. TopK reads the first k entries and
+// touches nothing else; the touched counter exists so tests can pin that
+// no-scan property on an arbitrarily large index.
+//
+// The zero value is ready to use. RankedIndex is not safe for concurrent
+// use; published Snapshots carry immutable clones of the order slice.
+type RankedIndex struct {
+	order []Rank
+	pos   map[story.ID]int
+
+	touched int // entries visited by the last TopK call (op-count pin)
+}
+
+// Len returns the number of ranked stories.
+func (x *RankedIndex) Len() int { return len(x.order) }
+
+// rankLess is the total order of the index: density descending, ties to the
+// lower story ID.
+func rankLess(a, b Rank) bool {
+	if a.Density != b.Density {
+		return a.Density > b.Density
+	}
+	return a.Story < b.Story
+}
+
+// Set inserts or repositions a story at the given density. A story already
+// ranked at that density is left untouched.
+func (x *RankedIndex) Set(id story.ID, density float64) {
+	if x.pos == nil {
+		x.pos = make(map[story.ID]int)
+	}
+	if i, ok := x.pos[id]; ok {
+		if x.order[i].Density == density {
+			return
+		}
+		x.removeAt(i)
+	}
+	r := Rank{Story: id, Density: density}
+	i := sort.Search(len(x.order), func(j int) bool { return !rankLess(x.order[j], r) })
+	x.order = append(x.order, Rank{})
+	copy(x.order[i+1:], x.order[i:])
+	x.order[i] = r
+	for j := i; j < len(x.order); j++ {
+		x.pos[x.order[j].Story] = j
+	}
+}
+
+// Remove drops a story from the ranking; absent stories are a no-op.
+func (x *RankedIndex) Remove(id story.ID) {
+	if i, ok := x.pos[id]; ok {
+		x.removeAt(i)
+	}
+}
+
+func (x *RankedIndex) removeAt(i int) {
+	delete(x.pos, x.order[i].Story)
+	copy(x.order[i:], x.order[i+1:])
+	x.order = x.order[:len(x.order)-1]
+	for j := i; j < len(x.order); j++ {
+		x.pos[x.order[j].Story] = j
+	}
+}
+
+// Density returns the ranked density of a story, if it is ranked.
+func (x *RankedIndex) Density(id story.ID) (float64, bool) {
+	i, ok := x.pos[id]
+	if !ok {
+		return 0, false
+	}
+	return x.order[i].Density, true
+}
+
+// TopK appends the k highest-density entries (fewer if the index is smaller)
+// to dst and returns it. It reads exactly min(k, Len) entries of the order
+// slice — never the whole index — and allocates nothing when dst has
+// capacity.
+func (x *RankedIndex) TopK(dst []Rank, k int) []Rank {
+	if k > len(x.order) {
+		k = len(x.order)
+	}
+	x.touched = 0
+	for i := 0; i < k; i++ {
+		dst = append(dst, x.order[i])
+		x.touched++
+	}
+	return dst
+}
+
+// Clone returns an immutable copy of the current order, highest density
+// first — the form a published Snapshot carries.
+func (x *RankedIndex) Clone() []Rank {
+	if len(x.order) == 0 {
+		return nil
+	}
+	out := make([]Rank, len(x.order))
+	copy(out, x.order)
+	return out
+}

@@ -1,0 +1,116 @@
+package serve
+
+import (
+	"reflect"
+	"testing"
+
+	"dyndens/internal/story"
+)
+
+func ranked(x *RankedIndex) []Rank { return x.Clone() }
+
+func TestRankedIndexOrdering(t *testing.T) {
+	var x RankedIndex
+	x.Set(3, 1.0)
+	x.Set(1, 2.5)
+	x.Set(2, 2.5) // ties break toward the lower ID
+	x.Set(4, 0.5)
+	want := []Rank{{1, 2.5}, {2, 2.5}, {3, 1.0}, {4, 0.5}}
+	if got := ranked(&x); !reflect.DeepEqual(got, want) {
+		t.Fatalf("order = %v, want %v", got, want)
+	}
+
+	// Reposition: story 4 overtakes everyone.
+	x.Set(4, 9)
+	want = []Rank{{4, 9}, {1, 2.5}, {2, 2.5}, {3, 1.0}}
+	if got := ranked(&x); !reflect.DeepEqual(got, want) {
+		t.Fatalf("after reposition: order = %v, want %v", got, want)
+	}
+
+	// Same-density Set is a no-op; Remove of absent ID is a no-op.
+	x.Set(4, 9)
+	x.Remove(99)
+	if got := ranked(&x); !reflect.DeepEqual(got, want) {
+		t.Fatalf("after no-ops: order = %v, want %v", got, want)
+	}
+
+	x.Remove(1)
+	x.Remove(4)
+	want = []Rank{{2, 2.5}, {3, 1.0}}
+	if got := ranked(&x); !reflect.DeepEqual(got, want) {
+		t.Fatalf("after removes: order = %v, want %v", got, want)
+	}
+	if d, ok := x.Density(2); !ok || d != 2.5 {
+		t.Fatalf("Density(2) = %v, %v", d, ok)
+	}
+	if _, ok := x.Density(1); ok {
+		t.Fatal("Density(1) should be gone")
+	}
+}
+
+// TestRankedIndexTopKNoScan pins the incremental-serving property from the
+// issue: answering top-k touches exactly k entries of the ranking, however
+// large the story table is — no full scan.
+func TestRankedIndexTopKNoScan(t *testing.T) {
+	var x RankedIndex
+	const n = 100_000
+	// Insert in rank order (descending density) so construction appends at
+	// the tail; what's under test is TopK, not bulk loading.
+	for i := 1; i <= n; i++ {
+		x.Set(story.ID(i), float64(n-i))
+	}
+	dst := make([]Rank, 0, 10)
+	dst = x.TopK(dst, 10)
+	if len(dst) != 10 {
+		t.Fatalf("TopK returned %d entries", len(dst))
+	}
+	if x.touched != 10 {
+		t.Fatalf("TopK touched %d entries of a %d-entry index, want exactly 10", x.touched, n)
+	}
+	for i := 1; i < len(dst); i++ {
+		if rankLess(dst[i], dst[i-1]) {
+			t.Fatalf("TopK result unordered at %d: %v then %v", i, dst[i-1], dst[i])
+		}
+	}
+
+	// And with capacity available, zero allocations.
+	allocs := testing.AllocsPerRun(100, func() {
+		dst = x.TopK(dst[:0], 10)
+	})
+	if allocs != 0 {
+		t.Fatalf("TopK allocated %.1f times per run, want 0", allocs)
+	}
+}
+
+// TestSnapshotTopZeroAlloc pins the read path the HTTP handler and load
+// harness use: Snapshot.Top is a sub-slice of the immutable ranking, no
+// allocation, no table scan.
+func TestSnapshotTopZeroAlloc(t *testing.T) {
+	s := &Snapshot{Ranked: make([]Rank, 50_000)}
+	for i := range s.Ranked {
+		s.Ranked[i] = Rank{Story: story.ID(i + 1), Density: float64(len(s.Ranked) - i)}
+	}
+	var got []Rank
+	allocs := testing.AllocsPerRun(100, func() {
+		got = s.Top(10)
+	})
+	if allocs != 0 {
+		t.Fatalf("Snapshot.Top allocated %.1f times per run, want 0", allocs)
+	}
+	if len(got) != 10 || got[0].Story != 1 {
+		t.Fatalf("Top(10) = %v", got[:min(len(got), 3)])
+	}
+	if n := len(s.Top(1 << 30)); n != len(s.Ranked) {
+		t.Fatalf("oversized k returned %d", n)
+	}
+	if n := len(s.Top(-1)); n != 0 {
+		t.Fatalf("negative k returned %d", n)
+	}
+	// The prefix is capacity-clipped: appending to it cannot clobber the
+	// shared ranking.
+	top := s.Top(3)
+	_ = append(top, Rank{Story: 999})
+	if s.Ranked[3].Story == 999 {
+		t.Fatal("append through Top() corrupted the shared ranking")
+	}
+}

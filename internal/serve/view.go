@@ -1,0 +1,166 @@
+package serve
+
+import (
+	"sync/atomic"
+
+	"dyndens/internal/story"
+	"dyndens/internal/vset"
+)
+
+// SubgraphRef is one live output-dense subgraph of a story as the serving
+// layer sees it: the subgraph's canonical key and the density annotated on
+// the engine event that last crossed its output threshold. Densities are
+// therefore exact as of the last threshold crossing, not continuously
+// re-evaluated — the staleness the paper accepts for incremental
+// maintenance.
+type SubgraphRef struct {
+	Key     string  `json:"key"`
+	Density float64 `json:"density"`
+}
+
+// Entry is one immutable story row of a published Snapshot. Everything it
+// references (the entity set, the subgraph slice) is frozen at publish time;
+// readers may hold an Entry for as long as they like.
+type Entry struct {
+	ID        story.ID      `json:"id"`
+	Entities  vset.Set      `json:"entities"`
+	Density   float64       `json:"density"` // max density over live subgraphs; last-known for fading stories
+	Subgraphs []SubgraphRef `json:"subgraphs"`
+	BornSeq   uint64        `json:"born_seq"`
+	LastSeq   uint64        `json:"last_seq"`
+	Fading    bool          `json:"fading"`
+}
+
+// Snapshot is one immutable, internally consistent picture of the story
+// table at a single update boundary. Published snapshots are copy-on-write:
+// entries untouched since the previous boundary are shared between
+// consecutive snapshots, so publishing costs O(changed + table-map), never
+// O(stream).
+//
+// All fields are read-only after publication. Tearing is impossible by
+// construction: a reader that loads a Snapshot sees the ranking, the story
+// table, the entity postings, and the live-key universe of the same epoch.
+type Snapshot struct {
+	// Epoch is the update boundary (engine sequence number) this snapshot
+	// corresponds to. Boundaries that change nothing do not publish, so
+	// consecutive snapshots may skip epochs.
+	Epoch uint64
+
+	// Stories maps story ID → immutable entry, covering live and fading
+	// stories alike.
+	Stories map[story.ID]*Entry
+
+	// Ranked orders the stories that currently own at least one live
+	// output-dense subgraph by density descending (ties to the lower ID).
+	// Fading stories are not ranked — their density is stale by definition —
+	// but stay queryable through Stories and ByEntity.
+	Ranked []Rank
+
+	// ByEntity maps entity → ascending story IDs whose entity set contains
+	// it.
+	ByEntity map[vset.Vertex][]story.ID
+
+	// LiveKeys is the sorted canonical-key universe of all live output-dense
+	// subgraphs — exactly the engine's OutputDenseKeys() at this boundary
+	// (modulo a MinCardinality filter, if one is configured upstream).
+	LiveKeys []string
+}
+
+// Top returns the k highest-density ranked entries (fewer if the ranking is
+// smaller) as a shared sub-slice of the immutable ranking: O(1), zero
+// allocations, and — pinned by tests — no story-table scan.
+func (s *Snapshot) Top(k int) []Rank {
+	if k < 0 {
+		k = 0
+	}
+	if k > len(s.Ranked) {
+		k = len(s.Ranked)
+	}
+	return s.Ranked[:k:k]
+}
+
+// ViewStats is a point-in-time summary of a View for /stats.
+type ViewStats struct {
+	Epoch         uint64 `json:"epoch"`
+	LastSeq       uint64 `json:"last_seq"`
+	Stories       int    `json:"stories"`
+	Fading        int    `json:"fading"`
+	LiveSubgraphs int    `json:"live_subgraphs"`
+	Publishes     uint64 `json:"publishes"`
+	Boundaries    uint64 `json:"boundaries"`
+	Records       uint64 `json:"records"`
+}
+
+// View is the concurrent read surface of the serving layer: a single atomic
+// pointer to the latest Snapshot. The writer (Builder) publishes whole
+// immutable snapshots; any number of readers load them wait-free. Readers
+// never block the writer and never observe a torn table — the classic
+// copy-on-write snapshot discipline.
+type View struct {
+	cur atomic.Pointer[Snapshot]
+
+	lastSeq    atomic.Uint64 // most recent boundary seen, published or not
+	publishes  atomic.Uint64
+	boundaries atomic.Uint64
+	records    atomic.Uint64
+}
+
+// NewView returns a View holding an empty epoch-0 snapshot.
+func NewView() *View {
+	v := &View{}
+	v.cur.Store(&Snapshot{Stories: map[story.ID]*Entry{}})
+	return v
+}
+
+// Snapshot returns the latest published snapshot. The result is immutable
+// and safe to use indefinitely.
+func (v *View) Snapshot() *Snapshot { return v.cur.Load() }
+
+// Top is shorthand for Snapshot().Top(k).
+func (v *View) Top(k int) []Rank { return v.cur.Load().Top(k) }
+
+// Story returns the entry for a story ID in the latest snapshot.
+func (v *View) Story(id story.ID) (*Entry, bool) {
+	e, ok := v.cur.Load().Stories[id]
+	return e, ok
+}
+
+// LastSeq returns the most recent update boundary the writer has completed —
+// ahead of Snapshot().Epoch whenever trailing boundaries changed nothing.
+func (v *View) LastSeq() uint64 { return v.lastSeq.Load() }
+
+// Stats summarises the view. The counters and the snapshot are read
+// independently, so they may straddle a publish; each value is individually
+// consistent.
+func (v *View) Stats() ViewStats {
+	s := v.cur.Load()
+	fading := 0
+	for _, e := range s.Stories {
+		if e.Fading {
+			fading++
+		}
+	}
+	return ViewStats{
+		Epoch:         s.Epoch,
+		LastSeq:       v.lastSeq.Load(),
+		Stories:       len(s.Stories),
+		Fading:        fading,
+		LiveSubgraphs: len(s.LiveKeys),
+		Publishes:     v.publishes.Load(),
+		Boundaries:    v.boundaries.Load(),
+		Records:       v.records.Load(),
+	}
+}
+
+// noteBoundary records that the writer completed boundary s (publish or
+// not).
+func (v *View) noteBoundary(s uint64) {
+	v.lastSeq.Store(s)
+	v.boundaries.Add(1)
+}
+
+// publish installs a new snapshot.
+func (v *View) publish(s *Snapshot) {
+	v.cur.Store(s)
+	v.publishes.Add(1)
+}

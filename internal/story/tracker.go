@@ -19,7 +19,9 @@ type Config struct {
 	// before it is declared dead. The fading-weight schedule routinely drops
 	// a story's subgraphs below the output threshold at an epoch tick and
 	// re-discovers them a few documents later; Grace spans that gap so the
-	// story keeps its identity. Defaults to 200; 0 selects the default.
+	// story keeps its identity. Defaults to 200; 0 selects the default, so a
+	// zero-length window ("die at the first update after fading") must be
+	// requested explicitly with the GraceNone sentinel.
 	Grace uint64
 	// MinCardinality ignores output-dense subgraphs with fewer vertices
 	// (0 or 1 disables the check). It is the application-level noise gate:
@@ -28,12 +30,21 @@ type Config struct {
 	MinCardinality int
 }
 
+// GraceNone is the explicit "no grace window" sentinel for Config.Grace: a
+// story whose last live subgraph ceases at update s dies at s+1. It exists
+// because Config treats a zero Grace as "use the documented default of 200",
+// which previously made a zero-length window unrepresentable.
+const GraceNone = ^uint64(0)
+
 func (c Config) withDefaults() Config {
 	if c.MinJaccard == 0 {
 		c.MinJaccard = 0.5
 	}
-	if c.Grace == 0 {
+	switch c.Grace {
+	case 0:
 		c.Grace = 200
+	case GraceNone:
+		c.Grace = 0
 	}
 	return c
 }
@@ -389,19 +400,32 @@ func (t *Tracker) record(r Record) {
 }
 
 // Records returns every lifecycle record produced so far, in order. The
-// returned slice aliases the tracker's log; do not mutate it.
-func (t *Tracker) Records() []Record { return t.records }
+// slice and the Entities sets it carries are copied out of the tracker's
+// log, so they are the caller's to keep or mutate: nothing a caller does to
+// the returned value can corrupt lifecycle history, and the tracker's later
+// progress never changes a previously returned slice. (Records delivered
+// through SetRecordSink are not copied — a sink that retains them must treat
+// Record.Entities as read-only.)
+func (t *Tracker) Records() []Record {
+	out := make([]Record, len(t.records))
+	copy(out, t.records)
+	for i := range out {
+		out[i].Entities = out[i].Entities.Clone()
+	}
+	return out
+}
 
 // Stories returns the current story table, sorted by ID: live stories first
 // have their union-of-subgraphs entity sets, fading ones their fade
-// snapshots.
+// snapshots. Like Records, the returned rows (including their Entities sets)
+// are private copies owned by the caller.
 func (t *Tracker) Stories() []Snapshot {
 	out := make([]Snapshot, 0, len(t.stories))
 	for _, id := range storyIDs(t.stories) {
 		st := t.stories[id]
 		out = append(out, Snapshot{
 			ID:        st.id,
-			Entities:  st.entities,
+			Entities:  st.entities.Clone(),
 			Subgraphs: len(st.live),
 			BornSeq:   st.bornSeq,
 			LastSeq:   st.lastSeq,
@@ -409,6 +433,17 @@ func (t *Tracker) Stories() []Snapshot {
 		})
 	}
 	return out
+}
+
+// OwnerOf returns the story currently holding the live output-dense subgraph
+// with the given canonical key (vset.Set.Key), or false if no story tracks
+// it (it never became output-dense, fell below MinCardinality, or has
+// ceased). It is the ownership hook the serving layer uses to attribute
+// engine events to stories at update boundaries; like every query it must
+// not be called concurrently with event delivery.
+func (t *Tracker) OwnerOf(key string) (ID, bool) {
+	id, ok := t.byKey[key]
+	return id, ok
 }
 
 // LiveKeys returns the canonical keys of the output-dense subgraphs the

@@ -268,3 +268,96 @@ func TestLifecycleKindStrings(t *testing.T) {
 		t.Errorf("unknown kind prints %q", got)
 	}
 }
+
+// TestTrackerGraceNone pins the explicit no-grace sentinel: a story with
+// GraceNone dies at fadeSeq+1, the first update after its last subgraph
+// ceases, while a zero Grace still selects the documented default of 200.
+func TestTrackerGraceNone(t *testing.T) {
+	tr := MustTracker(Config{Grace: GraceNone})
+	if g := tr.Config().Grace; g != 0 {
+		t.Fatalf("effective Grace = %d, want 0", g)
+	}
+	turn(tr, became(1, 2, 3)) // seq 1
+	turn(tr, ceased(1, 2, 3)) // seq 2: fade, expiry at 3
+	turn(tr)                  // seq 3: grace window already over → died
+	recs := tr.Records()
+	if len(recs) != 2 || recs[1].Kind != Died || recs[1].Seq != 3 {
+		t.Fatalf("records = %v", recs)
+	}
+	if len(tr.Stories()) != 0 {
+		t.Fatalf("table not empty: %+v", tr.Stories())
+	}
+
+	// A revival in the same update as the fade (within update seq 2) is the
+	// only way back: by seq 3 the identity is gone and a re-appearing
+	// subgraph is a fresh story (no split either — the snapshot window is
+	// also zero-length).
+	tr2 := MustTracker(Config{Grace: GraceNone})
+	turn(tr2, became(1, 2, 3))
+	turn(tr2, ceased(1, 2, 3))
+	turn(tr2)
+	turn(tr2, became(1, 2, 3))
+	recs2 := tr2.Records()
+	last := recs2[len(recs2)-1]
+	if last.Kind != Born || last.Story != 2 {
+		t.Fatalf("re-appearance after no-grace death = %v, want fresh Born story 2", last)
+	}
+
+	// The zero value still means "default": the story survives a short gap.
+	tr3 := MustTracker(Config{})
+	if g := tr3.Config().Grace; g != 200 {
+		t.Fatalf("default Grace = %d, want 200", g)
+	}
+	turn(tr3, became(1, 2, 3))
+	turn(tr3, ceased(1, 2, 3))
+	turn(tr3)
+	if got := kinds(tr3.Records()); len(got) != 1 || got[0] != Born {
+		t.Fatalf("default-grace records = %v, want story still fading", tr3.Records())
+	}
+}
+
+// TestTrackerQueryOwnership pins the copy-on-read contract of Records and
+// Stories: callers own the returned values outright, so mutating them —
+// including the Entities sets, which the tracker may still reference — must
+// not corrupt lifecycle history or the story table.
+func TestTrackerQueryOwnership(t *testing.T) {
+	tr := MustTracker(Config{})
+	turn(tr, became(1, 2, 3))
+	turn(tr, became(1, 2, 3, 4))
+
+	pristineRecs := tr.Records()
+	pristineTable := tr.Stories()
+
+	recs := tr.Records()
+	recs[0].Entities[0] = 999 // scribble over a recorded entity set
+	recs[1] = Record{}        // and over a whole record
+	_ = append(recs, Record{Kind: Died})
+
+	table := tr.Stories()
+	table[0].Entities[0] = -7
+	table[0].Subgraphs = 42
+
+	if !reflect.DeepEqual(tr.Records(), pristineRecs) {
+		t.Fatalf("mutating Records() result corrupted the log:\n got %v\nwant %v", tr.Records(), pristineRecs)
+	}
+	if !reflect.DeepEqual(tr.Stories(), pristineTable) {
+		t.Fatalf("mutating Stories() result corrupted the table:\n got %+v\nwant %+v", tr.Stories(), pristineTable)
+	}
+
+	// The tracker must also still resolve future updates against intact
+	// state: the scribbled vertex 999 must not surface anywhere.
+	turn(tr, ceased(1, 2, 3))
+	for _, r := range tr.Records() {
+		if r.Entities.Contains(999) || r.Entities.Contains(-7) {
+			t.Fatalf("scribbled vertex leaked into record %v", r)
+		}
+	}
+
+	// OwnerOf reflects the live key table.
+	if id, ok := tr.OwnerOf(vset.New(1, 2, 3, 4).Key()); !ok || id != 1 {
+		t.Fatalf("OwnerOf(live) = %d, %v; want 1, true", id, ok)
+	}
+	if _, ok := tr.OwnerOf(vset.New(1, 2, 3).Key()); ok {
+		t.Fatalf("OwnerOf(ceased key) = true, want false")
+	}
+}

@@ -13,31 +13,48 @@
 //	benchgate -base base.txt -head head.txt [-max-regress 0.15]
 //	benchgate -snapshot BENCH_PR5.json [-min-decay-speedup 2.0]
 //	benchgate -snapshot BENCH_PR6.json [-min-scoped-speedup 1.5]
+//	benchgate -snapshot BENCH_PR7.json [-min-read-qps 50000]
 //
 // The -snapshot form validates a committed `dyndens bench -json`
 // perf-trajectory snapshot instead of comparing two live runs, so a
 // regenerated snapshot that no longer meets the repo's claims fails CI
 // deterministically (no benchmark noise involved). Which gates apply follows
 // the snapshot's blocks: a batch_compare block must record at least the
-// given epoch-coalescing speedup on the decay-burst segment, and a scaling
+// given epoch-coalescing speedup on the decay-burst segment; a scaling
 // block (from `dyndens bench -scale`) must record at least the given
 // scoped-vs-mirror speedup at K=4 — the delivery-policy win at equal
-// parallelism, the core-count-independent headline of scoped shard routing.
+// parallelism, the core-count-independent headline of scoped shard routing;
+// and a serve block (from `dyndens bench -serve-readers`) must record at
+// least the given closed-loop read throughput against the live story view.
 // Explicitly passing a gate's flag makes its block mandatory; a snapshot
 // carrying no gateable block always fails.
+//
+// Exit codes: 0 pass, 1 gate failure, 2 usage/IO/parse error.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"regexp"
 	"sort"
 	"strconv"
 	"strings"
 )
+
+// gateError marks a failed gate (exit 1) as opposed to an unreadable or
+// malformed input (exit 2).
+type gateError struct{ msg string }
+
+func (e gateError) Error() string { return e.msg }
+
+func gateFailf(format string, args ...any) error {
+	return gateError{msg: fmt.Sprintf(format, args...)}
+}
 
 // benchLine matches e.g.
 //
@@ -51,6 +68,10 @@ func parse(path string) (map[string][]float64, error) {
 		return nil, err
 	}
 	defer f.Close()
+	return parseReader(path, f)
+}
+
+func parseReader(path string, f io.Reader) (map[string][]float64, error) {
 	out := make(map[string][]float64)
 	sc := bufio.NewScanner(f)
 	for sc.Scan() {
@@ -79,6 +100,47 @@ func median(xs []float64) float64 {
 	return (s[n/2-1] + s[n/2]) / 2
 }
 
+// gateCompare applies the regression gate to two parsed bench runs, writing
+// the per-benchmark report to w.
+func gateCompare(base, head map[string][]float64, maxRegress float64, w io.Writer) error {
+	names := make([]string, 0, len(base))
+	for name := range base {
+		if _, ok := head[name]; ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return errors.New("no common benchmarks between base and head")
+	}
+
+	failed := false
+	for _, name := range names {
+		b, h := median(base[name]), median(head[name])
+		// A zero base median is measurement garbage (a broken or truncated
+		// bench line), not a real 0 ns/op baseline; dividing by it would turn
+		// the delta into ±Inf and poison the report, so the pair is reported
+		// but not gated.
+		if b == 0 {
+			fmt.Fprintf(w, "%-40s base=%12.0f ns/op  head=%12.0f ns/op  delta=   n/a  skipped (zero base)\n",
+				strings.TrimPrefix(name, "Benchmark"), b, h)
+			continue
+		}
+		delta := (h - b) / b
+		status := "ok"
+		if delta > maxRegress {
+			status = "REGRESSION"
+			failed = true
+		}
+		fmt.Fprintf(w, "%-40s base=%12.0f ns/op  head=%12.0f ns/op  delta=%+6.1f%%  %s\n",
+			strings.TrimPrefix(name, "Benchmark"), b, h, 100*delta, status)
+	}
+	if failed {
+		return gateFailf("ns/op regressed by more than %.0f%% on at least one benchmark", 100*maxRegress)
+	}
+	return nil
+}
+
 // snapshot is the subset of the `dyndens bench -json` format the gate reads.
 type snapshot struct {
 	Batched      bool `json:"batched"`
@@ -90,56 +152,75 @@ type snapshot struct {
 		ScopedK4VsMirrorK4 float64 `json:"scoped_k4_vs_mirror_k4"`
 		ScopedK4VsSingle   float64 `json:"scoped_k4_vs_single"`
 	} `json:"scaling"`
+	Serve *struct {
+		Readers int     `json:"readers"`
+		ReadQPS float64 `json:"read_qps"`
+		P99Ns   int64   `json:"p99_ns"`
+	} `json:"serve"`
 }
 
-// gateSnapshot validates a committed bench snapshot. Each gate applies when
-// its block is present in the snapshot or its floor flag was set explicitly
-// (in which case a missing block is itself a failure); a snapshot with no
-// gateable block fails — committing an ungated snapshot is always a mistake.
-func gateSnapshot(path string, minDecaySpeedup, minScopedSpeedup float64, decaySet, scopedSet bool) {
-	data, err := os.ReadFile(path)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "benchgate:", err)
-		os.Exit(2)
-	}
+// snapshotGates carries each snapshot gate's floor and whether its flag was
+// set explicitly (making the corresponding block mandatory).
+type snapshotGates struct {
+	MinDecaySpeedup  float64
+	DecaySet         bool
+	MinScopedSpeedup float64
+	ScopedSet        bool
+	MinReadQPS       float64
+	ReadQPSSet       bool
+}
+
+// gateSnapshot validates a committed bench snapshot, writing the per-gate
+// report to w. Each gate applies when its block is present in the snapshot
+// or its floor flag was set explicitly (in which case a missing block is
+// itself a failure); a snapshot with no gateable block fails — committing an
+// ungated snapshot is always a mistake.
+func gateSnapshot(path string, data []byte, g snapshotGates, w io.Writer) error {
 	var s snapshot
 	if err := json.Unmarshal(data, &s); err != nil {
-		fmt.Fprintf(os.Stderr, "benchgate: %s: %v\n", path, err)
-		os.Exit(2)
+		return fmt.Errorf("%s: %w", path, err)
 	}
 	gated := false
-	if s.BatchCompare != nil || decaySet {
+	if s.BatchCompare != nil || g.DecaySet {
 		if !s.Batched || s.BatchCompare == nil {
-			fmt.Fprintf(os.Stderr, "benchgate: %s carries no batch_compare block (not a -batch snapshot)\n", path)
-			os.Exit(1)
+			return gateFailf("%s carries no batch_compare block (not a -batch snapshot)", path)
 		}
-		fmt.Printf("%s: decay-segment speedup %.2fx (overall %.2fx), floor %.2fx\n",
-			path, s.BatchCompare.DecaySpeedup, s.BatchCompare.OverallSpeedup, minDecaySpeedup)
-		if s.BatchCompare.DecaySpeedup < minDecaySpeedup {
-			fmt.Fprintf(os.Stderr, "benchgate: decay-segment speedup %.2fx below the %.2fx floor\n",
-				s.BatchCompare.DecaySpeedup, minDecaySpeedup)
-			os.Exit(1)
+		fmt.Fprintf(w, "%s: decay-segment speedup %.2fx (overall %.2fx), floor %.2fx\n",
+			path, s.BatchCompare.DecaySpeedup, s.BatchCompare.OverallSpeedup, g.MinDecaySpeedup)
+		if s.BatchCompare.DecaySpeedup < g.MinDecaySpeedup {
+			return gateFailf("decay-segment speedup %.2fx below the %.2fx floor",
+				s.BatchCompare.DecaySpeedup, g.MinDecaySpeedup)
 		}
 		gated = true
 	}
-	if s.Scaling != nil || scopedSet {
+	if s.Scaling != nil || g.ScopedSet {
 		if s.Scaling == nil || s.Scaling.ScopedK4VsMirrorK4 == 0 {
-			fmt.Fprintf(os.Stderr, "benchgate: %s carries no scaling block with a scoped/mirror K=4 ratio (not a -scale 0,...,4 snapshot)\n", path)
-			os.Exit(1)
+			return gateFailf("%s carries no scaling block with a scoped/mirror K=4 ratio (not a -scale 0,...,4 snapshot)", path)
 		}
-		fmt.Printf("%s: scoped-vs-mirror K=4 speedup %.2fx (vs single %.2fx), floor %.2fx\n",
-			path, s.Scaling.ScopedK4VsMirrorK4, s.Scaling.ScopedK4VsSingle, minScopedSpeedup)
-		if s.Scaling.ScopedK4VsMirrorK4 < minScopedSpeedup {
-			fmt.Fprintf(os.Stderr, "benchgate: scoped-vs-mirror K=4 speedup %.2fx below the %.2fx floor\n",
-				s.Scaling.ScopedK4VsMirrorK4, minScopedSpeedup)
-			os.Exit(1)
+		fmt.Fprintf(w, "%s: scoped-vs-mirror K=4 speedup %.2fx (vs single %.2fx), floor %.2fx\n",
+			path, s.Scaling.ScopedK4VsMirrorK4, s.Scaling.ScopedK4VsSingle, g.MinScopedSpeedup)
+		if s.Scaling.ScopedK4VsMirrorK4 < g.MinScopedSpeedup {
+			return gateFailf("scoped-vs-mirror K=4 speedup %.2fx below the %.2fx floor",
+				s.Scaling.ScopedK4VsMirrorK4, g.MinScopedSpeedup)
+		}
+		gated = true
+	}
+	if s.Serve != nil || g.ReadQPSSet {
+		if s.Serve == nil {
+			return gateFailf("%s carries no serve block (not a -serve-readers snapshot)", path)
+		}
+		fmt.Fprintf(w, "%s: serve read throughput %.0f reads/s across %d readers (p99 %dns), floor %.0f\n",
+			path, s.Serve.ReadQPS, s.Serve.Readers, s.Serve.P99Ns, g.MinReadQPS)
+		if s.Serve.ReadQPS < g.MinReadQPS {
+			return gateFailf("serve read throughput %.0f reads/s below the %.0f floor",
+				s.Serve.ReadQPS, g.MinReadQPS)
 		}
 		gated = true
 	}
 	if !gated {
-		fmt.Fprintf(os.Stderr, "benchgate: %s carries no gateable block (want batch_compare or scaling)\n", path)
-		os.Exit(1)
+		return gateFailf("%s carries no gateable block (want batch_compare, scaling, or serve)", path)
 	}
+	return nil
 }
 
 func main() {
@@ -147,63 +228,53 @@ func main() {
 	headPath := flag.String("head", "", "bench output of the head revision")
 	maxRegress := flag.Float64("max-regress", 0.15, "maximum allowed ns/op regression as a fraction (0.15 = +15%)")
 	snapshotPath := flag.String("snapshot", "", "validate a committed `dyndens bench -json` snapshot instead of comparing two bench runs")
-	minDecaySpeedup := flag.Float64("min-decay-speedup", 2.0, "with -snapshot: minimum required batched-vs-sequential speedup on the decay segment")
-	minScopedSpeedup := flag.Float64("min-scoped-speedup", 1.5, "with -snapshot: minimum required scoped-vs-mirror delivery speedup at K=4 in the scaling block")
+	g := snapshotGates{}
+	flag.Float64Var(&g.MinDecaySpeedup, "min-decay-speedup", 2.0, "with -snapshot: minimum required batched-vs-sequential speedup on the decay segment")
+	flag.Float64Var(&g.MinScopedSpeedup, "min-scoped-speedup", 1.5, "with -snapshot: minimum required scoped-vs-mirror delivery speedup at K=4 in the scaling block")
+	flag.Float64Var(&g.MinReadQPS, "min-read-qps", 50_000, "with -snapshot: minimum required closed-loop read throughput in the serve block")
 	flag.Parse()
-	decaySet, scopedSet := false, false
 	flag.Visit(func(f *flag.Flag) {
 		switch f.Name {
 		case "min-decay-speedup":
-			decaySet = true
+			g.DecaySet = true
 		case "min-scoped-speedup":
-			scopedSet = true
+			g.ScopedSet = true
+		case "min-read-qps":
+			g.ReadQPSSet = true
 		}
 	})
+
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		var ge gateError
+		if errors.As(err, &ge) {
+			os.Exit(1)
+		}
+		os.Exit(2)
+	}
+
 	if *snapshotPath != "" {
-		gateSnapshot(*snapshotPath, *minDecaySpeedup, *minScopedSpeedup, decaySet, scopedSet)
+		data, err := os.ReadFile(*snapshotPath)
+		if err != nil {
+			fail(err)
+		}
+		if err := gateSnapshot(*snapshotPath, data, g, os.Stdout); err != nil {
+			fail(err)
+		}
 		return
 	}
 	if *basePath == "" || *headPath == "" {
-		fmt.Fprintln(os.Stderr, "benchgate: -base and -head are required")
-		os.Exit(2)
+		fail(errors.New("-base and -head are required"))
 	}
 	base, err := parse(*basePath)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "benchgate:", err)
-		os.Exit(2)
+		fail(err)
 	}
 	head, err := parse(*headPath)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "benchgate:", err)
-		os.Exit(2)
+		fail(err)
 	}
-
-	names := make([]string, 0, len(base))
-	for name := range base {
-		if _, ok := head[name]; ok {
-			names = append(names, name)
-		}
-	}
-	sort.Strings(names)
-	if len(names) == 0 {
-		fmt.Fprintln(os.Stderr, "benchgate: no common benchmarks between base and head")
-		os.Exit(2)
-	}
-
-	failed := false
-	for _, name := range names {
-		b, h := median(base[name]), median(head[name])
-		delta := (h - b) / b
-		status := "ok"
-		if delta > *maxRegress {
-			status = "REGRESSION"
-			failed = true
-		}
-		fmt.Printf("%-40s base=%12.0f ns/op  head=%12.0f ns/op  delta=%+6.1f%%  %s\n",
-			strings.TrimPrefix(name, "Benchmark"), b, h, 100*delta, status)
-	}
-	if failed {
-		fmt.Fprintf(os.Stderr, "benchgate: ns/op regressed by more than %.0f%% on at least one benchmark\n", 100**maxRegress)
-		os.Exit(1)
+	if err := gateCompare(base, head, *maxRegress, os.Stdout); err != nil {
+		fail(err)
 	}
 }
