@@ -128,6 +128,15 @@ type benchResult struct {
 	// fetches issued concurrently with the measured replay) plus the view's
 	// publication counters. The CI gate reads ReadQPS as a floor.
 	Serve *serveBenchResult `json:"serve,omitempty"`
+
+	// DecayModeCompare is present for -decay-compare runs: the identical
+	// document workload replayed through exact fading (per-pair epoch sweep)
+	// and rescaled fading (O(1) threshold ticks), both epoch-coalesced. The
+	// headline DecaySegmentSpeedup is an elapsed-TIME ratio on the epoch-tick
+	// segment (exact/rescale over the same epoch count) — upd/s is
+	// meaningless there because the rescaled segment carries almost no
+	// updates by design. The CI gate reads it as a floor.
+	DecayModeCompare *decayModeCompareResult `json:"decay_mode_compare,omitempty"`
 }
 
 // serveBenchResult is the JSON serve block: what N concurrent readers saw
@@ -214,6 +223,22 @@ type batchCompareResult struct {
 	OverallSpeedup float64    `json:"overall_speedup"`
 }
 
+type decayModeCompareResult struct {
+	Exact               modeResult `json:"exact"`
+	Rescale             modeResult `json:"rescale"`
+	DecaySegmentSpeedup float64    `json:"decay_segment_speedup"`
+	OverallSpeedup      float64    `json:"overall_speedup"`
+}
+
+// elapsedSpeedup is reference time / measured time: how many times faster the
+// measured pass finished the same logical work.
+func elapsedSpeedup(reference, measured time.Duration) float64 {
+	if measured <= 0 {
+		return 0
+	}
+	return float64(reference) / float64(measured)
+}
+
 func speedup(batched, sequential float64) float64 {
 	if sequential <= 0 {
 		return 0
@@ -261,13 +286,17 @@ type docPipelineResult struct {
 	StorySize   int     `json:"story_size"`
 	EpochLength int64   `json:"epoch_length"`
 	Decay       float64 `json:"decay"`
+	DecayMode   string  `json:"decay_mode"`
 
-	Docs         int   `json:"docs"`
-	PairUpdates  int   `json:"pair_updates"`
-	DecayUpdates int   `json:"decay_updates"`
-	RetiredPairs int   `json:"retired_pairs"`
-	Epochs       int64 `json:"epochs"`
-	TrackedPairs int   `json:"tracked_pairs"`
+	Docs             int   `json:"docs"`
+	PairUpdates      int   `json:"pair_updates"`
+	DecayUpdates     int   `json:"decay_updates"`
+	RetiredPairs     int   `json:"retired_pairs"`
+	Epochs           int64 `json:"epochs"`
+	TrackedPairs     int   `json:"tracked_pairs"`
+	ThresholdUpdates int   `json:"threshold_updates,omitempty"`
+	Renorms          int   `json:"renorms,omitempty"`
+	EpochPairTouches int   `json:"epoch_pair_touches,omitempty"`
 
 	StoriesBorn   int `json:"stories_born"`
 	StoriesSplit  int `json:"stories_split"`
@@ -281,23 +310,27 @@ type docPipelineResult struct {
 func newDocPipelineResult(stories, storySize int, aggCfg stream.AggregatorConfig, aggStats stream.AggregatorStats, tracker *story.Tracker) *docPipelineResult {
 	st := tracker.Stats()
 	return &docPipelineResult{
-		Stories:       stories,
-		StorySize:     storySize,
-		EpochLength:   aggCfg.EpochLength,
-		Decay:         aggCfg.Decay,
-		Docs:          aggStats.Docs,
-		PairUpdates:   aggStats.PairUpdates,
-		DecayUpdates:  aggStats.DecayUpdates,
-		RetiredPairs:  aggStats.Retired,
-		Epochs:        aggStats.Epochs,
-		TrackedPairs:  aggStats.TrackedPairs,
-		StoriesBorn:   st.Born,
-		StoriesSplit:  st.Split,
-		StoriesMerged: st.Merged,
-		StoriesDied:   st.Died,
-		StoriesLive:   st.Live,
-		StoriesFading: st.Fading,
-		Records:       len(tracker.Records()),
+		Stories:          stories,
+		StorySize:        storySize,
+		EpochLength:      aggCfg.EpochLength,
+		Decay:            aggCfg.Decay,
+		DecayMode:        aggCfg.DecayMode.String(),
+		Docs:             aggStats.Docs,
+		PairUpdates:      aggStats.PairUpdates,
+		DecayUpdates:     aggStats.DecayUpdates,
+		RetiredPairs:     aggStats.Retired,
+		Epochs:           aggStats.Epochs,
+		TrackedPairs:     aggStats.TrackedPairs,
+		ThresholdUpdates: aggStats.ThresholdUpdates,
+		Renorms:          aggStats.Renorms,
+		EpochPairTouches: aggStats.EpochPairTouches,
+		StoriesBorn:      st.Born,
+		StoriesSplit:     st.Split,
+		StoriesMerged:    st.Merged,
+		StoriesDied:      st.Died,
+		StoriesLive:      st.Live,
+		StoriesFading:    st.Fading,
+		Records:          len(tracker.Records()),
 	}
 }
 
@@ -409,11 +442,14 @@ func cmdBench(args []string) error {
 	scaleList := fs.String("scale", "", "comma-separated shard `counts` (0 = single-threaded, must be included); replay the identical workload at each count — sharded counts in both scoped and mirror delivery — and emit the scaling curve; combine with -batch for epoch-coalesced points (incompatible with -shards/-docs)")
 	jsonOut := fs.String("json", "", "also write a machine-readable result to this `path` (- for stdout)")
 	cpuProfile := fs.String("cpuprofile", "", "write a pprof CPU profile of the replay to this `path`")
+	memProfile := fs.String("memprofile", "", "write a pprof heap profile (taken after the measured pass) to this `path`")
 	docsMode := fs.Bool("docs", false, "bench the document→story pipeline: -vertices are background entities, -updates documents, -skew the background Zipf exponent (-neg/-mean unused)")
 	docStories := fs.Int("doc-stories", 3, "planted stories (with -docs)")
 	docStorySize := fs.Int("doc-story-size", 4, "entities per planted story (with -docs)")
 	epoch := fs.Int64("epoch", 25, "fading epoch length in document time units (with -docs)")
 	decay := fs.Float64("decay", 0.7, "per-epoch fading factor (with -docs)")
+	decayModeFlag := fs.String("decay-mode", "rescale", "epoch fading realisation (with -docs): rescale (O(1) ticks) or exact (per-pair sweep)")
+	decayCompare := fs.Bool("decay-compare", false, "replay the -docs workload through exact AND rescaled fading (both epoch-coalesced) and report the decay-segment time ratio as the JSON decay_mode_compare block (single-threaded -docs only)")
 	serveReaders := fs.Int("serve-readers", 0, "run N concurrent closed-loop snapshot readers (top-k + story fetches) against the live story view during the measured replay and report read QPS and latency percentiles as the JSON serve block; the readers share the process, so writer throughput and alloc counters include their cost (0 = off)")
 	serveK := fs.Int("serve-k", 10, "top-k size each serve reader queries (with -serve-readers)")
 	newEngineCfg := engineFlags(fs, 3, 5)
@@ -432,6 +468,21 @@ func cmdBench(args []string) error {
 			return fmt.Errorf("bench: %w", err)
 		}
 	}
+	benchDecayMode, err := stream.ParseDecayMode(*decayModeFlag)
+	if err != nil {
+		return fmt.Errorf("bench: -decay-mode: %w", err)
+	}
+	if *decayCompare {
+		if !*docsMode {
+			return fmt.Errorf("bench: -decay-compare requires -docs (fading is a document-pipeline concern)")
+		}
+		if *shards > 0 || *serveReaders > 0 {
+			return fmt.Errorf("bench: -decay-compare is incompatible with -shards and -serve-readers")
+		}
+		if benchDecayMode != stream.DecayRescale {
+			return fmt.Errorf("bench: -decay-compare measures rescale against the exact reference; drop -decay-mode %s", benchDecayMode)
+		}
+	}
 	if *serveReaders < 0 {
 		return fmt.Errorf("bench: -serve-readers must be ≥ 0, got %d", *serveReaders)
 	}
@@ -446,7 +497,7 @@ func cmdBench(args []string) error {
 	// pipeline per replay so the -batch comparison can drive the identical
 	// workload through both modes; grace is per-pass because its unit is the
 	// engine tick (updates sequentially, batches when coalescing).
-	makePipeline := func(grace uint64) (src stream.UpdateSource, agg *stream.Aggregator, tracker *story.Tracker, err error) {
+	makePipeline := func(grace uint64, mode stream.DecayMode) (src stream.UpdateSource, agg *stream.Aggregator, tracker *story.Tracker, err error) {
 		if !*docsMode {
 			src, err = stream.NewSynthetic(synthCfg)
 			return src, nil, nil, err
@@ -462,7 +513,7 @@ func cmdBench(args []string) error {
 		if err != nil {
 			return nil, nil, nil, err
 		}
-		if agg, err = stream.NewAggregator(gen, stream.AggregatorConfig{EpochLength: *epoch, Decay: *decay}); err != nil {
+		if agg, err = stream.NewAggregator(gen, stream.AggregatorConfig{EpochLength: *epoch, Decay: *decay, DecayMode: mode}); err != nil {
 			return nil, nil, nil, err
 		}
 		if tracker, err = story.NewTracker(story.Config{MinCardinality: 3, Grace: grace}); err != nil {
@@ -479,8 +530,11 @@ func cmdBench(args []string) error {
 	// work and the speedup would partly measure tracker-workload divergence.
 	const graceUpdates = 350
 	batchedGrace := uint64(graceUpdates)
-	if *batchMode && *docsMode {
-		src, _, _, err := makePipeline(graceUpdates)
+	if (*batchMode || *decayCompare) && *docsMode {
+		// The two fading modes are tick-aligned by construction (exact mode
+		// also emits a decay group at every epoch crossing), so one pre-drain
+		// measures the batch structure for both -decay-compare passes.
+		src, _, _, err := makePipeline(graceUpdates, benchDecayMode)
 		if err != nil {
 			return err
 		}
@@ -520,6 +574,21 @@ func cmdBench(args []string) error {
 			return err
 		}
 		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			return err
+		}
+		// Written at exit so the profile reflects the heap after the measured
+		// pass; a failed write must not fail the benchmark itself.
+		defer func() {
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "bench: -memprofile: %v\n", err)
+			}
+			f.Close()
+		}()
 	}
 
 	if *scaleList != "" {
@@ -564,7 +633,7 @@ func cmdBench(args []string) error {
 		if *batchMode {
 			grace = batchedGrace
 		}
-		src, agg, tracker, err := makePipeline(grace)
+		src, agg, tracker, err := makePipeline(grace, benchDecayMode)
 		if err != nil {
 			return err
 		}
@@ -596,9 +665,14 @@ func cmdBench(args []string) error {
 		}
 		mem := takeMemSnapshot()
 		var st stream.ShardReplayStats
-		if *batchMode {
-			st, err = r.RunBatches(*readBatch)
-		} else {
+		switch {
+		case *batchMode:
+			st, err = r.RunBatches(*readBatch, true)
+		case *docsMode && benchDecayMode == stream.DecayRescale:
+			// Rescaled decay is batch-structured (threshold epoch units), so
+			// the non-coalescing replay still runs through the batch driver.
+			st, err = r.RunBatches(*readBatch, false)
+		default:
 			st, err = r.Run(*readBatch)
 		}
 		if err != nil {
@@ -671,12 +745,12 @@ func cmdBench(args []string) error {
 		allocs  float64
 		bytes   float64
 	}
-	runOnce := func(coalesce bool) (*singleRun, error) {
+	runOnce := func(coalesce bool, mode stream.DecayMode) (*singleRun, error) {
 		grace := uint64(graceUpdates)
-		if *batchMode && coalesce {
+		if (*batchMode || *decayCompare) && coalesce {
 			grace = batchedGrace
 		}
-		src, agg, tracker, err := makePipeline(grace)
+		src, agg, tracker, err := makePipeline(grace, mode)
 		if err != nil {
 			return nil, err
 		}
@@ -709,9 +783,14 @@ func cmdBench(args []string) error {
 			ld = serve.StartLoad(run.bld.View(), serve.LoadConfig{Readers: *serveReaders, TopK: *serveK, Seed: 1})
 		}
 		mem := takeMemSnapshot()
-		if *batchMode {
+		switch {
+		case *batchMode || *decayCompare:
 			run.st, err = r.RunBatches(*readBatch, coalesce)
-		} else {
+		case *docsMode && mode == stream.DecayRescale:
+			// Rescaled decay is batch-structured (threshold epoch units), so
+			// the non-coalescing replay still runs through the batch driver.
+			run.st, err = r.RunBatches(*readBatch, false)
+		default:
 			run.st, err = r.Run(*readBatch)
 		}
 		if err != nil {
@@ -730,11 +809,20 @@ func cmdBench(args []string) error {
 	var seq *singleRun
 	if *batchMode {
 		// Sequential baseline pass for the comparison.
-		if seq, err = runOnce(false); err != nil {
+		if seq, err = runOnce(false, benchDecayMode); err != nil {
 			return err
 		}
 	}
-	measured, err := runOnce(true)
+	// With -decay-compare the exact-sweep reference pass runs first (both
+	// passes epoch-coalesced over the identical workload); the measured pass
+	// below is the rescaled one and fills the main result fields.
+	var exactRef *singleRun
+	if *decayCompare {
+		if exactRef, err = runOnce(true, stream.DecayExact); err != nil {
+			return err
+		}
+	}
+	measured, err := runOnce(true, benchDecayMode)
 	if err != nil {
 		return err
 	}
@@ -747,7 +835,17 @@ func cmdBench(args []string) error {
 	if seq != nil {
 		fmt.Printf("sequential: %v\n", seq.st)
 	}
+	if exactRef != nil {
+		fmt.Printf("exact:      %v\n", exactRef.st)
+	}
 	fmt.Println(measured.st)
+	if exactRef != nil {
+		// Elapsed-time ratio, not upd/s: the rescaled decay segment processes
+		// ~zero per-pair updates, so a throughput ratio would be meaningless.
+		fmt.Printf("decay-mode speedup: decay-segment %.2fx, overall %.2fx (rescale vs exact, elapsed time)\n",
+			elapsedSpeedup(exactRef.st.DecaySeg.Elapsed, measured.st.DecaySeg.Elapsed),
+			elapsedSpeedup(exactRef.st.Elapsed, measured.st.Elapsed))
+	}
 	if seq != nil {
 		if seq.st.DecaySeg.Batches > 0 {
 			fmt.Printf("speedup: decay-segment %.2fx, overall %.2fx (batched vs sequential)\n",
@@ -785,6 +883,14 @@ func cmdBench(args []string) error {
 				Batched:        newModeResult(measured.st),
 				DecaySpeedup:   speedup(measured.st.DecaySeg.UpdatesPerSecond(), seq.st.DecaySeg.UpdatesPerSecond()),
 				OverallSpeedup: speedup(measured.st.UpdatesPerSecond(), seq.st.UpdatesPerSecond()),
+			}
+		}
+		if exactRef != nil {
+			result.DecayModeCompare = &decayModeCompareResult{
+				Exact:               newModeResult(exactRef.st),
+				Rescale:             newModeResult(measured.st),
+				DecaySegmentSpeedup: elapsedSpeedup(exactRef.st.DecaySeg.Elapsed, measured.st.DecaySeg.Elapsed),
+				OverallSpeedup:      elapsedSpeedup(exactRef.st.Elapsed, measured.st.Elapsed),
 			}
 		}
 		if measured.bld != nil {
@@ -870,7 +976,7 @@ func runBenchScale(ks []int, synthCfg stream.SynthConfig, engCfg core.Config, re
 		r := stream.NewShardReplay(src, se, sink)
 		var st stream.ShardReplayStats
 		if batched {
-			st, err = r.RunBatches(readBatch)
+			st, err = r.RunBatches(readBatch, true)
 		} else {
 			st, err = r.Run(readBatch)
 		}

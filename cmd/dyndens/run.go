@@ -105,7 +105,7 @@ func cmdRun(args []string) error {
 		r := stream.NewShardReplay(src, se, filter)
 		var st stream.ShardReplayStats
 		if *batchMode {
-			st, err = r.RunBatches(*batch)
+			st, err = r.RunBatches(*batch, true)
 		} else {
 			st, err = r.Run(*batch)
 		}

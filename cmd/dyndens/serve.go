@@ -171,9 +171,15 @@ func cmdServe(args []string) error {
 			se.SetSeqSink(bld)
 			r := stream.NewShardReplay(agg, se, nil)
 			var st stream.ShardReplayStats
-			if *batchMode {
-				st, err = r.RunBatches(*batch)
-			} else {
+			switch {
+			case *batchMode:
+				st, err = r.RunBatches(*batch, true)
+			case aggCfg.DecayMode == stream.DecayRescale:
+				// Rescaled decay is batch-structured (threshold epoch units),
+				// so the non-coalescing replay still runs through the batch
+				// driver; see cmdStoriesRun.
+				st, err = r.RunBatches(*batch, false)
+			default:
 				st, err = r.Run(*batch)
 			}
 			if err == nil {
@@ -194,9 +200,12 @@ func cmdServe(args []string) error {
 			}
 			r := stream.NewReplay(agg, eng, bld)
 			var st stream.ReplayStats
-			if *batchMode {
+			switch {
+			case *batchMode:
 				st, err = r.RunBatches(*batch, true)
-			} else {
+			case aggCfg.DecayMode == stream.DecayRescale:
+				st, err = r.RunBatches(*batch, false)
+			default:
 				st, err = r.Run(*batch)
 			}
 			if err == nil {

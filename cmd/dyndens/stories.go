@@ -98,6 +98,7 @@ func aggregatorFlags(fs *flag.FlagSet) func() (stream.AggregatorConfig, error) {
 	decay := fs.Float64("decay", 0.7, "multiplicative per-epoch fading factor in (0, 1]")
 	docWeight := fs.Float64("doc-weight", 1, "edge weight contributed by one co-occurrence")
 	prune := fs.Float64("prune", 1e-3, "retire pairs whose faded weight drops below this (≤0 = never)")
+	mode := fs.String("decay-mode", "rescale", "epoch fading realisation: rescale (O(1) ticks: normalized weights + threshold updates) or exact (paper-literal per-pair sweep, the conformance reference)")
 	return func() (stream.AggregatorConfig, error) {
 		// The config layer treats zero fields as "use the default", so an
 		// explicitly invalid flag must fail loudly here rather than be
@@ -108,6 +109,10 @@ func aggregatorFlags(fs *flag.FlagSet) func() (stream.AggregatorConfig, error) {
 		if *docWeight <= 0 {
 			return stream.AggregatorConfig{}, fmt.Errorf("-doc-weight must be positive, got %g", *docWeight)
 		}
+		dm, err := stream.ParseDecayMode(*mode)
+		if err != nil {
+			return stream.AggregatorConfig{}, fmt.Errorf("-decay-mode: %w", err)
+		}
 		p := *prune
 		if p <= 0 {
 			p = -1 // ≤0 on the command line means never prune
@@ -117,6 +122,7 @@ func aggregatorFlags(fs *flag.FlagSet) func() (stream.AggregatorConfig, error) {
 			Decay:       *decay,
 			DocWeight:   *docWeight,
 			PruneBelow:  p,
+			DecayMode:   dm,
 		}, nil
 	}
 }
@@ -306,9 +312,15 @@ func cmdStoriesRun(args []string) error {
 		se.SetSeqSink(tracker)
 		r := stream.NewShardReplay(agg, se, nil)
 		var st stream.ShardReplayStats
-		if *batchMode {
-			st, err = r.RunBatches(*batch)
-		} else {
+		switch {
+		case *batchMode:
+			st, err = r.RunBatches(*batch, true)
+		case aggCfg.DecayMode == stream.DecayRescale:
+			// Rescaled decay is batch-structured (threshold epoch units), so
+			// the non-coalescing replay still runs through the batch driver —
+			// documents are fed per-update, epochs as atomic threshold ticks.
+			st, err = r.RunBatches(*batch, false)
+		default:
 			st, err = r.Run(*batch)
 		}
 		if err != nil {
@@ -328,9 +340,13 @@ func cmdStoriesRun(args []string) error {
 	}
 	r := stream.NewReplay(agg, eng, tracker)
 	var st stream.ReplayStats
-	if *batchMode {
+	switch {
+	case *batchMode:
 		st, err = r.RunBatches(*batch, true)
-	} else {
+	case aggCfg.DecayMode == stream.DecayRescale:
+		// See the sharded path: rescaled decay requires the batch driver.
+		st, err = r.RunBatches(*batch, false)
+	default:
 		st, err = r.Run(*batch)
 	}
 	if err != nil {

@@ -81,9 +81,33 @@ func (e *Engine) ProcessBatchRouted(updates []Update, seed func(a, b Vertex) boo
 	e.stats.Updates += uint64(len(updates))
 	e.stats.Batches++
 
-	// Apply every delta to the graph up front, coalescing the net applied
-	// change per pair. Applying in stream order keeps the clamp-at-zero path
-	// exact: the per-update applied deltas telescope to final − initial.
+	e.stageBatchDeltas(updates)
+	e.beginEmit()
+	if len(e.batchKeys) == 0 {
+		return e.finishEmit() // no-op tick: boundary only
+	}
+	e.prepareBatchKeys()
+
+	e.batching = true
+	e.batchSeed = seed
+	e.ix.BeginUpdate()
+	e.batchRepair()
+	e.batchDiscover()
+	e.batchSeed = nil
+	e.batching = false
+	if n := e.ix.NodeCount(); n > e.stats.MaxIndexNodes {
+		e.stats.MaxIndexNodes = n
+	}
+	e.flushBatchEvents()
+	return e.finishEmit()
+}
+
+// stageBatchDeltas applies every delta of a batch to the graph up front,
+// coalescing the net applied change per pair into batchNet/batchKeys (keys
+// unsorted). Applying in stream order keeps the clamp-at-zero path exact: the
+// per-update applied deltas telescope to final − initial. Shared by the
+// plain-batch and threshold-batch ticks.
+func (e *Engine) stageBatchDeltas(updates []Update) {
 	if e.batchNet == nil {
 		e.batchNet = make(map[uint64]float64)
 		e.stageIdx = make(map[string]int)
@@ -113,11 +137,12 @@ func (e *Engine) ProcessBatchRouted(updates []Update, seed func(a, b Vertex) boo
 		}
 		e.batchKeys = append(e.batchKeys, k)
 	}
+}
 
-	e.beginEmit()
-	if len(e.batchKeys) == 0 {
-		return e.finishEmit() // no-op tick: boundary only
-	}
+// prepareBatchKeys sorts the coalesced pair keys into canonical phase order
+// and derives the sorted distinct dirty-endpoint set batchRepair and
+// batchDeltaOf rely on.
+func (e *Engine) prepareBatchKeys() {
 	slices.Sort(e.batchKeys)
 	e.batchDirty = e.batchDirty[:0]
 	for _, k := range e.batchKeys {
@@ -126,19 +151,6 @@ func (e *Engine) ProcessBatchRouted(updates []Update, seed func(a, b Vertex) boo
 	}
 	slices.Sort(e.batchDirty)
 	e.batchDirty = slices.Compact(e.batchDirty)
-
-	e.batching = true
-	e.batchSeed = seed
-	e.ix.BeginUpdate()
-	e.batchRepair()
-	e.batchDiscover()
-	e.batchSeed = nil
-	e.batching = false
-	if n := e.ix.NodeCount(); n > e.stats.MaxIndexNodes {
-		e.stats.MaxIndexNodes = n
-	}
-	e.flushBatchEvents()
-	return e.finishEmit()
 }
 
 // batchDeltaOf returns the summed net applied delta of the batch's pairs that
@@ -348,11 +360,14 @@ func (e *Engine) flushBatchEvents() {
 		after := se.kind == BecameOutputDense
 		if after != se.before {
 			e.stats.Events++
+			// Scores are flushed in real units: emitScale is the scale in
+			// force at the batch boundary, which for a threshold tick is the
+			// epoch's NEW λ — exactly the decayed value a sink should see.
 			e.cur.Emit(Event{
 				Kind:    se.kind,
 				Set:     se.set,
-				Score:   se.score,
-				Density: e.th.Density(se.score, se.set.Len()),
+				Score:   se.score * e.emitScale,
+				Density: e.th.Density(se.score, se.set.Len()) * e.emitScale,
 			})
 			if e.cloneSets {
 				se.set = nil // handed over; the sink owns it now

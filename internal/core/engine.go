@@ -113,6 +113,7 @@ type Stats struct {
 	Updates         uint64 // updates processed (batched updates count individually)
 	AppliedOnly     uint64 // updates applied to the graph without processing (ApplyOnly)
 	Batches         uint64 // ProcessBatch calls (one logical tick each)
+	ThresholdTicks  uint64 // ProcessThresholdBatch calls (rescaled decay epochs)
 	BatchPairs      uint64 // coalesced positive pairs that ran the discovery pass
 	BatchPairSkips  uint64 // coalesced positive pairs skipped by scoped delivery
 	PositiveUpdates uint64
@@ -142,6 +143,7 @@ func (s *Stats) Add(o Stats) {
 	s.Updates += o.Updates
 	s.AppliedOnly += o.AppliedOnly
 	s.Batches += o.Batches
+	s.ThresholdTicks += o.ThresholdTicks
 	s.BatchPairs += o.BatchPairs
 	s.BatchPairSkips += o.BatchPairSkips
 	s.PositiveUpdates += o.PositiveUpdates
@@ -168,6 +170,17 @@ type Engine struct {
 	th  *density.Thresholds
 	g   *graph.Graph
 	ix  *index.Index
+
+	// Rescaled-decay state (see thresholdbatch.go). The engine's graph,
+	// index, and threshold schedule may run in normalized weight units w' =
+	// w/λ; emitScale holds λ, the factor that converts internal scores and
+	// densities back to real (paper-semantics) units at every emission and
+	// query point. baseT is the real-unit output threshold fixed at
+	// construction: the normalized threshold in force is always baseT/λ.
+	// Outside rescaled decay both stay 1 and cfg.T, making every path below
+	// a plain multiply-by-one.
+	emitScale float64
+	baseT     float64
 
 	stats Stats
 
@@ -262,10 +275,12 @@ func New(cfg Config) (*Engine, error) {
 		return nil, err
 	}
 	return &Engine{
-		cfg: cfg,
-		th:  th,
-		g:   graph.New(),
-		ix:  index.New(),
+		cfg:       cfg,
+		th:        th,
+		g:         graph.New(),
+		ix:        index.New(),
+		emitScale: 1,
+		baseT:     cfg.T,
 	}, nil
 }
 
@@ -283,6 +298,11 @@ func (e *Engine) Config() Config { return e.cfg }
 
 // Thresholds exposes the active threshold schedule.
 func (e *Engine) Thresholds() *density.Thresholds { return e.th }
+
+// DecayScale returns the cumulative decay scale λ the engine currently runs
+// under: internal scores are normalized units and real score = internal·λ.
+// It is 1 unless ProcessThresholdBatch has been used (rescaled decay mode).
+func (e *Engine) DecayScale() float64 { return e.emitScale }
 
 // Graph exposes the maintained weighted graph for read-only inspection.
 func (e *Engine) Graph() *graph.Graph { return e.g }
@@ -517,8 +537,8 @@ func (e *Engine) emit(kind EventKind, c vset.Set, score float64) {
 	e.cur.Emit(Event{
 		Kind:    kind,
 		Set:     set,
-		Score:   score,
-		Density: e.th.Density(score, c.Len()),
+		Score:   score * e.emitScale,
+		Density: e.th.Density(score, c.Len()) * e.emitScale,
 	})
 }
 

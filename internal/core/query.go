@@ -18,8 +18,8 @@ func (e *Engine) OutputDense() []Subgraph {
 		if e.th.IsOutputDense(n.Score(), card) {
 			out = append(out, Subgraph{
 				Set:     n.Set(),
-				Score:   n.Score(),
-				Density: e.th.Density(n.Score(), card),
+				Score:   n.Score() * e.emitScale,
+				Density: e.th.Density(n.Score(), card) * e.emitScale,
 			})
 		}
 	}
@@ -62,8 +62,8 @@ func (e *Engine) Dense() []Subgraph {
 	for _, n := range nodes {
 		out = append(out, Subgraph{
 			Set:     n.Set(),
-			Score:   n.Score(),
-			Density: e.th.Density(n.Score(), n.Card()),
+			Score:   n.Score() * e.emitScale,
+			Density: e.th.Density(n.Score(), n.Card()) * e.emitScale,
 		})
 	}
 	sortSubgraphs(out)
@@ -145,7 +145,11 @@ func (e *Engine) expanded(explicit []Subgraph, include func(score float64, n int
 				}
 				ext := cur.Add(y)
 				if include(score, ext.Len()) {
-					add(Subgraph{Set: ext, Score: score, Density: e.th.Density(score, ext.Len())})
+					add(Subgraph{
+						Set:     ext,
+						Score:   score * e.emitScale,
+						Density: e.th.Density(score, ext.Len()) * e.emitScale,
+					})
 				}
 				added = append(added, y)
 				rec(ext, i+1)

@@ -43,6 +43,10 @@ func (e *Engine) SetThreshold(newT float64) ([]Event, error) {
 	}
 	e.cfg.T = newT
 	e.cfg.DeltaIt = newTh.DeltaIt
+	// newT is in the engine's internal (normalized) units; keep the real-unit
+	// base threshold consistent so rescaled-decay ticks keep honouring the
+	// caller's choice (baseT/emitScale must always equal the normalized T).
+	e.baseT = newT * e.emitScale
 	if n := e.ix.NodeCount(); n > e.stats.MaxIndexNodes {
 		e.stats.MaxIndexNodes = n
 	}

@@ -1,0 +1,306 @@
+// Unit tests for Engine.ProcessThresholdBatch: the rescaled-decay epoch unit
+// that moves the threshold to baseT/λ and stamps every emitted score and
+// density with λ so sinks and queries keep seeing real (paper) units while
+// the internal state stays normalized. The pipeline-level exact-vs-rescale
+// conformance suite lives in internal/stream.
+package core_test
+
+import (
+	"math"
+	"math/rand"
+	"slices"
+	"testing"
+
+	"dyndens/internal/baseline/brute"
+	"dyndens/internal/core"
+)
+
+// scaleStream draws a mixed positive stream over a small universe.
+func scaleStream(seed int64, vertices, n int) []core.Update {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]core.Update, 0, n)
+	for i := 0; i < n; i++ {
+		a := core.Vertex(rng.Intn(vertices))
+		b := core.Vertex(rng.Intn(vertices))
+		for b == a {
+			b = core.Vertex(rng.Intn(vertices))
+		}
+		out = append(out, core.Update{A: a, B: b, Delta: rng.ExpFloat64() * 1.5})
+	}
+	return out
+}
+
+func relCloseTo(a, b, rel float64) bool {
+	if a == b {
+		return true
+	}
+	return math.Abs(a-b) <= rel*math.Max(math.Abs(a), math.Abs(b))
+}
+
+// TestProcessThresholdBatchMatchesRealUnitReference pins the normalized
+// representation against the real (paper-unit) graph it stands for. The
+// engine under test ingests raw weights at λ=1, then a threshold epoch moves
+// λ to 0.5 with the second chunk arriving normalized (delta/λ): its stored
+// graph is real/λ throughout and its threshold T/λ. The reference engine is
+// fed the real-unit stream directly — first chunk pre-faded by λ, second
+// fresh — at the base threshold. Expanded dense sets must agree (with the
+// brute oracle on each engine's own graph), and the normalized engine's
+// emitted densities must already be real-unit.
+func TestProcessThresholdBatchMatchesRealUnitReference(t *testing.T) {
+	// A power of two keeps delta/scale and w·scale exact, so the two engines
+	// hold bit-identical graphs up to the shared input rounding.
+	const scale = 0.5
+	baseCfg := core.Config{T: 2, Nmax: 4}
+	updates := scaleStream(11, 10, 300)
+
+	eng := core.MustNew(baseCfg)
+	eng.ProcessBatch(updates[:150])
+	normalized := make([]core.Update, 150)
+	for i, u := range updates[150:] {
+		u.Delta /= scale
+		normalized[i] = u
+	}
+	eng.ProcessThresholdBatch(scale, normalized)
+
+	ref := core.MustNew(baseCfg)
+	faded := make([]core.Update, 150)
+	for i, u := range updates[:150] {
+		u.Delta *= scale
+		faded[i] = u
+	}
+	ref.ProcessBatch(faded)
+	ref.ProcessBatch(updates[150:])
+
+	if got, want := eng.Config().T, baseCfg.T/scale; got != want {
+		t.Fatalf("normalized threshold %v, want %v", got, want)
+	}
+	if eng.DecayScale() != scale {
+		t.Fatalf("DecayScale = %v, want %v", eng.DecayScale(), scale)
+	}
+	keys := func(e *core.Engine) []string {
+		var out []string
+		for _, s := range e.OutputDenseExpanded() {
+			out = append(out, s.Set.Key())
+		}
+		slices.Sort(out)
+		return out
+	}
+	got, want := keys(eng), keys(ref)
+	if len(want) == 0 {
+		t.Fatal("reference has no dense subgraphs; fixture too weak")
+	}
+	if !slices.Equal(got, want) {
+		t.Fatalf("expanded dense set %v != real-unit reference %v", got, want)
+	}
+	cfg := eng.Config()
+	oracle := brute.Keys(brute.EnumerateAll(eng.Graph(), brute.Params{Measure: cfg.Measure, T: cfg.T, Nmax: cfg.Nmax}))
+	if !slices.Equal(got, oracle) {
+		t.Fatalf("expanded dense set %v != oracle on normalized graph %v", got, oracle)
+	}
+	refDens := map[string]float64{}
+	for _, s := range ref.OutputDense() {
+		refDens[s.Set.Key()] = s.Density
+	}
+	outs := eng.OutputDense()
+	if len(outs) == 0 {
+		t.Fatal("no output-dense subgraphs; fixture too weak")
+	}
+	for _, s := range outs {
+		want, ok := refDens[s.Set.Key()]
+		if !ok {
+			t.Fatalf("output-dense %s absent from reference", s.Set.Key())
+		}
+		if !relCloseTo(s.Density, want, 1e-9) {
+			t.Fatalf("density of %s = %v, want real-unit %v", s.Set.Key(), s.Density, want)
+		}
+	}
+}
+
+// TestProcessThresholdBatchEquivalentToSetThreshold: an empty threshold batch
+// under scale λ is exactly SetThreshold(baseT/λ) plus the emit-scale stamp —
+// same net events, same dense keys, same tick accounting shape.
+func TestProcessThresholdBatchEquivalentToSetThreshold(t *testing.T) {
+	updates := scaleStream(13, 10, 250)
+	mk := func() *core.Engine {
+		e := core.MustNew(core.Config{T: 2, Nmax: 4})
+		e.ProcessBatch(updates)
+		return e
+	}
+	const scale = 0.5
+	a, b := mk(), mk()
+
+	evA := a.ProcessThresholdBatch(scale, nil)
+	evB, err := b.SetThreshold(2 / scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !slices.Equal(a.OutputDenseKeys(), b.OutputDenseKeys()) {
+		t.Fatalf("dense keys diverge: %v vs %v", a.OutputDenseKeys(), b.OutputDenseKeys())
+	}
+	canon := func(evs []core.Event) []string {
+		var out []string
+		for _, ev := range evs {
+			out = append(out, string(rune('0'+ev.Kind))+"|"+ev.Set.Key())
+		}
+		slices.Sort(out)
+		return out
+	}
+	if got, want := canon(evA), canon(evB); !slices.Equal(got, want) {
+		t.Fatalf("events diverge: %v vs %v", got, want)
+	}
+	if a.Stats().ThresholdTicks != 1 {
+		t.Fatalf("ThresholdTicks = %d, want 1", a.Stats().ThresholdTicks)
+	}
+	// The threshold-batch engine reports real units; the SetThreshold engine
+	// kept scale 1, so its densities ARE the normalized ones.
+	for i, s := range a.OutputDense() {
+		if want := b.OutputDense()[i].Density * scale; !relCloseTo(s.Density, want, 1e-12) {
+			t.Fatalf("density of %s = %v, want %v", s.Set.Key(), s.Density, want)
+		}
+	}
+}
+
+// TestProcessThresholdBatchRenormRoundTrip drives a unit-change round trip:
+// first an epoch whose compensating deltas multiply every stored weight by
+// 1/λ while λ drops to 1/1024 (real graph unchanged — no transitions may
+// fire), then the renormalization unit that folds λ back into the weights
+// with Scale exactly 1. The engine must end at the base threshold, scale 1,
+// the original graph to an ulp (the compensating delta w·λ−w rounds once),
+// and an unchanged dense set throughout.
+func TestProcessThresholdBatchRenormRoundTrip(t *testing.T) {
+	const scale = 1.0 / 1024
+	updates := scaleStream(17, 8, 200)
+	eng := core.MustNew(core.Config{T: 2, Nmax: 4})
+	sink := &boundarySink{}
+	eng.SetSink(sink)
+	eng.ProcessBatch(updates)
+	before := eng.OutputDenseKeys()
+	events := sink.Len()
+	g := eng.Graph()
+	pairs := dedupePairs(updates)
+	original := make([]float64, len(pairs))
+	for i, u := range pairs {
+		original[i] = g.Weight(u.A, u.B)
+	}
+
+	// Unit change down: w' = w/λ so the real graph is untouched.
+	grow := make([]core.Update, len(pairs))
+	for i, u := range pairs {
+		grow[i] = core.Update{A: u.A, B: u.B, Delta: original[i]/scale - original[i]}
+	}
+	eng.ProcessThresholdBatch(scale, grow)
+	if sink.Len() != events {
+		t.Fatalf("pure unit change emitted %d events", sink.Len()-events)
+	}
+	if !slices.Equal(eng.OutputDenseKeys(), before) {
+		t.Fatalf("pure unit change altered the dense set: %v vs %v", eng.OutputDenseKeys(), before)
+	}
+
+	// Renormalize: fold λ into the weights (w' → w'·λ) and return Scale to 1.
+	shrink := make([]core.Update, len(pairs))
+	for i, u := range pairs {
+		w := g.Weight(u.A, u.B)
+		shrink[i] = core.Update{A: u.A, B: u.B, Delta: w*scale - w}
+	}
+	eng.ProcessThresholdBatch(1, shrink)
+
+	if sink.Len() != events {
+		t.Fatalf("renorm emitted %d events", sink.Len()-events)
+	}
+	if eng.DecayScale() != 1 {
+		t.Fatalf("DecayScale = %v after renorm, want 1", eng.DecayScale())
+	}
+	if got := eng.Config().T; got != 2 {
+		t.Fatalf("threshold %v after renorm, want exactly the base 2", got)
+	}
+	if !slices.Equal(eng.OutputDenseKeys(), before) {
+		t.Fatalf("renorm changed the dense set: %v vs %v", eng.OutputDenseKeys(), before)
+	}
+	for i, u := range pairs {
+		if got := g.Weight(u.A, u.B); !relCloseTo(got, original[i], 1e-12) {
+			t.Fatalf("weight %d-%d = %v, want the original %v", u.A, u.B, got, original[i])
+		}
+	}
+}
+
+// dedupePairs returns one canonical Update per distinct pair in updates.
+func dedupePairs(updates []core.Update) []core.Update {
+	seen := map[[2]core.Vertex]bool{}
+	var out []core.Update
+	for _, u := range updates {
+		a, b := u.A, u.B
+		if a > b {
+			a, b = b, a
+		}
+		if seen[[2]core.Vertex{a, b}] {
+			continue
+		}
+		seen[[2]core.Vertex{a, b}] = true
+		out = append(out, core.Update{A: a, B: b})
+	}
+	return out
+}
+
+// TestProcessThresholdBatchEmitScaleOnEvents: events emitted by a threshold
+// batch carry real-unit scores/densities — the NEW λ of the epoch, including
+// for the dense transitions the threshold walk itself causes.
+func TestProcessThresholdBatchEmitScaleOnEvents(t *testing.T) {
+	eng := core.MustNew(core.Config{T: 2, Nmax: 4})
+	var sink core.CollectorSink
+	eng.SetSink(&sink)
+	// A triangle of weight 2 per edge: density well above T.
+	tri := []core.Update{{A: 0, B: 1, Delta: 2}, {A: 0, B: 2, Delta: 2}, {A: 1, B: 2, Delta: 2}}
+	eng.ProcessBatch(tri)
+	if sink.Len() == 0 {
+		t.Fatal("triangle did not become dense; fixture too weak")
+	}
+	base := sink.Events()[len(sink.Events())-1]
+
+	// Halve λ with a delta that doubles the normalized weights exactly: the
+	// real graph is unchanged, so no transition may fire and queries must
+	// report the same real density as before.
+	grow := []core.Update{{A: 0, B: 1, Delta: 2}, {A: 0, B: 2, Delta: 2}, {A: 1, B: 2, Delta: 2}}
+	n := sink.Len()
+	eng.ProcessThresholdBatch(0.5, grow)
+	if sink.Len() != n {
+		t.Fatalf("pure unit change emitted %d events", sink.Len()-n)
+	}
+	var got *core.Subgraph
+	for _, s := range eng.OutputDense() {
+		if s.Set.Key() == base.Set.Key() {
+			sc := s
+			got = &sc
+		}
+	}
+	if got == nil {
+		t.Fatalf("set %s no longer output-dense", base.Set.Key())
+	}
+	if !relCloseTo(got.Density, base.Density, 1e-12) {
+		t.Fatalf("real density drifted: %v, want %v", got.Density, base.Density)
+	}
+
+	// Now cancel one edge inside the batch: the cease events must be stamped
+	// with the epoch's NEW λ (real units), not the normalized score. With a
+	// sink installed the engine elides the returned slice, so read the sink.
+	n = sink.Len()
+	eng.ProcessThresholdBatch(0.25, []core.Update{{A: 0, B: 1, Delta: -8}})
+	if sink.Len() == n {
+		t.Fatal("edge cancellation emitted no events")
+	}
+	ceased := false
+	for _, ev := range sink.Events()[n:] {
+		if ev.Kind != core.CeasedOutputDense {
+			continue
+		}
+		ceased = true
+		// Remaining normalized pair weight is 4 (score 4, density 2); real
+		// units divide by 4 at λ=0.25. Anything at or above the normalized
+		// magnitude means the emit boundary forgot the scale stamp.
+		if ev.Density >= 1.999 {
+			t.Fatalf("cease event density %v looks normalized, not real-unit", ev.Density)
+		}
+	}
+	if !ceased {
+		t.Fatal("no CeasedOutputDense event after the edge cancellation")
+	}
+}

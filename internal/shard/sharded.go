@@ -139,6 +139,8 @@ type batch struct {
 	firstSeq  uint64
 	updates   []core.Update
 	coalesced bool
+	threshold bool    // rescaled-decay epoch unit (implies coalesced handling)
+	scale     float64 // cumulative decay scale λ when threshold is set
 }
 
 // tickEvents is one non-empty logical tick of a worker's batch result: off is
@@ -377,6 +379,41 @@ func (se *ShardedEngine) ProcessBatch(updates []core.Update) {
 	}
 }
 
+// ProcessThresholdBatch accepts one rescaled-decay epoch unit as ONE logical
+// tick: every worker absorbs the retirement cancellations and moves its
+// threshold to baseT/scale through core.Engine.ProcessThresholdBatchRouted,
+// and the merger sequences the combined net events under a single sequence
+// number — a decay epoch crosses the worker channels and the merge barrier
+// exactly once regardless of tracked-pair count. Threshold units broadcast to
+// every worker in both overlap policies (every replica's threshold schedule
+// must move in lockstep); the cancellations are negative, so scoped
+// delivery's positive-pair skip never applies to them. Like ProcessBatch it
+// is asynchronous and single-producer, and an empty unit still consumes a
+// sequence number.
+func (se *ShardedEngine) ProcessThresholdBatch(scale float64, updates []core.Update) {
+	se.produceMu.Lock()
+	defer se.produceMu.Unlock()
+	if se.closed {
+		panic("shard: ProcessThresholdBatch called after Close")
+	}
+	se.sendLocked()
+	b := batch{
+		firstSeq:  se.nextSeq,
+		updates:   append([]core.Update(nil), updates...),
+		coalesced: true,
+		threshold: true,
+		scale:     scale,
+	}
+	se.nextSeq++ // one sequence number for the whole epoch unit
+	se.accepted += uint64(len(updates))
+	se.mu.Lock()
+	se.issued++
+	se.mu.Unlock()
+	for _, w := range se.workers {
+		w.in <- b
+	}
+}
+
 // ProcessAll accepts a sequence of updates; the slice may be reused by the
 // caller as soon as ProcessAll returns.
 func (se *ShardedEngine) ProcessAll(updates []core.Update) {
@@ -541,9 +578,14 @@ func (se *ShardedEngine) runWorker(w *worker) {
 			res.ticks = 1
 			before := w.eng.Stats()
 			var evs []core.Event
-			if w.scoped {
+			switch {
+			case b.threshold && w.scoped:
+				evs = w.eng.ProcessThresholdBatchScoped(b.scale, b.updates, w.seed)
+			case b.threshold:
+				evs = w.eng.ProcessThresholdBatchRouted(b.scale, b.updates, w.seed)
+			case w.scoped:
 				evs = w.eng.ProcessBatchScoped(b.updates, w.seed)
-			} else {
+			default:
 				evs = w.eng.ProcessBatchRouted(b.updates, w.seed)
 			}
 			after := w.eng.Stats()

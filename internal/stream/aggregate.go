@@ -1,12 +1,61 @@
 package stream
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"slices"
 
 	"dyndens/internal/graph"
 )
+
+// DecayMode selects how the Aggregator realises per-epoch fading.
+type DecayMode int
+
+const (
+	// DecayExact is the paper-literal sweep: every epoch tick multiplies
+	// every tracked pair's weight by the decay factor and emits one negative
+	// delta per pair — O(tracked pairs) per epoch. It is the conformance
+	// reference the rescaled mode is checked against.
+	DecayExact DecayMode = iota
+	// DecayRescale keeps weights in normalized units w' = w/λ with a
+	// cumulative scale λ: an epoch tick is one float multiply plus a single
+	// threshold batch unit (λ) the engine absorbs via incremental threshold
+	// adjustment, and PruneBelow retirement is served lazily from an
+	// expiry-scale heap — per-epoch cost independent of the tracked-pair
+	// count. Rescaled streams are batch-structured: drive them through
+	// NextBatch (Next returns an error).
+	DecayRescale
+)
+
+// String returns the CLI spelling of the mode.
+func (m DecayMode) String() string {
+	switch m {
+	case DecayExact:
+		return "exact"
+	case DecayRescale:
+		return "rescale"
+	}
+	return fmt.Sprintf("DecayMode(%d)", int(m))
+}
+
+// ParseDecayMode parses the CLI spelling of a decay mode.
+func ParseDecayMode(s string) (DecayMode, error) {
+	switch s {
+	case "exact":
+		return DecayExact, nil
+	case "rescale":
+		return DecayRescale, nil
+	}
+	return 0, fmt.Errorf("stream: unknown decay mode %q (want exact or rescale)", s)
+}
+
+// renormBelow is the λ underflow guard: when the cumulative scale drops below
+// it, the aggregator renormalizes stored weights back to λ = 1 in one O(E)
+// pass. 1e-150 leaves ~150 orders of magnitude of float64 headroom on both
+// the normalized weights (w/λ) and the rescaled threshold (T/λ), and is
+// crossed only once per thousands of epochs at realistic decay factors.
+const renormBelow = 1e-150
 
 // AggregatorConfig configures the document→update co-occurrence aggregation
 // (the paper's Section 2 pre-processing): each document contributes DocWeight
@@ -33,6 +82,10 @@ type AggregatorConfig struct {
 	// Defaults to 1e-3; a negative value disables pruning (every pair is
 	// tracked forever).
 	PruneBelow float64
+	// DecayMode selects the fading realisation; the zero value is DecayExact
+	// (the sweep). DecayRescale makes epoch ticks O(1) via normalized
+	// weights and threshold batch units; see the DecayMode constants.
+	DecayMode DecayMode
 }
 
 func (c AggregatorConfig) withDefaults() AggregatorConfig {
@@ -60,6 +113,8 @@ func (c AggregatorConfig) Validate() error {
 		return fmt.Errorf("stream: decay %v outside (0, 1]", c.Decay)
 	case c.DocWeight <= 0 || math.IsInf(c.DocWeight, 0) || math.IsNaN(c.DocWeight):
 		return fmt.Errorf("stream: document weight %v must be positive and finite", c.DocWeight)
+	case c.DecayMode != DecayExact && c.DecayMode != DecayRescale:
+		return fmt.Errorf("stream: invalid decay mode %d", int(c.DecayMode))
 	}
 	return nil
 }
@@ -68,16 +123,27 @@ func (c AggregatorConfig) Validate() error {
 type AggregatorStats struct {
 	Docs         int   // documents consumed
 	PairUpdates  int   // positive co-occurrence updates emitted
-	DecayUpdates int   // negative fading updates emitted
+	DecayUpdates int   // negative fading/cancellation updates emitted
 	Retired      int   // pairs fully cancelled and dropped by PruneBelow
 	Epochs       int64 // fading epochs applied
 	TrackedPairs int   // pairs currently carrying weight
+
+	// Rescaled-mode counters (zero in exact mode).
+	ThresholdUpdates int // threshold batch units emitted (epoch ticks with fading)
+	Renorms          int // λ-underflow renormalization passes
+	// EpochPairTouches counts, cumulatively, the tracked pairs an epoch tick
+	// examined: the exact sweep adds the full tracked count every tick, the
+	// rescaled mode only the heap entries popped (retirements and stale
+	// re-keys) plus renormalization passes. The O(1)-epoch claim is pinned as
+	// "a no-retirement rescaled epoch leaves this unchanged".
+	EpochPairTouches int
 }
 
 // String formats the one-line summary printed by the stories CLI.
 func (s AggregatorStats) String() string {
-	return fmt.Sprintf("aggregate{docs=%d pair-updates=%d decay-updates=%d retired=%d epochs=%d tracked-pairs=%d}",
-		s.Docs, s.PairUpdates, s.DecayUpdates, s.Retired, s.Epochs, s.TrackedPairs)
+	return fmt.Sprintf("aggregate{docs=%d pair-updates=%d decay-updates=%d retired=%d epochs=%d tracked-pairs=%d threshold-updates=%d renorms=%d epoch-pair-touches=%d}",
+		s.Docs, s.PairUpdates, s.DecayUpdates, s.Retired, s.Epochs, s.TrackedPairs,
+		s.ThresholdUpdates, s.Renorms, s.EpochPairTouches)
 }
 
 // pairKey packs an ordered vertex pair (a < b) into one comparable word.
@@ -94,23 +160,42 @@ func (k pairKey) vertices() (a, b graph.Vertex) {
 	return graph.Vertex(k >> 32), graph.Vertex(uint32(k))
 }
 
+// retireEntry is one lazy-retirement heap entry: the pair expires once the
+// cumulative scale λ drops below expLambda. Entries are only ever stale-HIGH
+// (later additions grow w' and shrink the true expiry scale), so they fire
+// early and are verified against the authoritative weight on pop — never
+// late, which is what keeps lazy retirement equivalent to the exact sweep.
+type retireEntry struct {
+	key       pairKey
+	expLambda float64
+}
+
+// retiredPair is a popped-and-confirmed retirement awaiting sorted emission.
+type retiredPair struct {
+	key pairKey
+	w   float64 // normalized weight cancelled
+}
+
 // Aggregator converts a DocumentSource into the edge-weight UpdateSource the
 // engine consumes: it is the first stage of the documents→stories pipeline
 // and slots into the existing Replay/ShardReplay drivers unchanged.
 //
 // For every document it emits one positive update of DocWeight per entity
-// pair, and whenever the document time crosses an epoch boundary it first
-// emits the fading of every tracked pair as negative updates (weight·(Decay^k
-// − 1) for k elapsed epochs), retiring pairs that fall below PruneBelow. The
-// aggregator mirrors the exact weight the engine's graph holds for each pair
-// — the engine applies every delta the aggregator emits and nothing else —
-// so decayed weights never drift and the clamp-at-zero path is never hit.
+// pair, and whenever the document time crosses an epoch boundary it applies
+// fading first. In exact mode fading is emitted literally — weight·(Decay^k −
+// 1) for every tracked pair — while in rescaled mode the stored weights are
+// normalized (w' = w/λ) and the epoch instead emits one threshold batch unit
+// carrying the new λ plus the exact cancellations of pairs that expired below
+// PruneBelow. In both modes the aggregator mirrors the exact weight the
+// engine's graph holds for each pair — the engine applies every delta the
+// aggregator emits and nothing else — so weights never drift and the
+// clamp-at-zero path is never hit.
 //
 // Emission order is deterministic: a document's pairs are emitted in sorted
-// order (documents carry sorted entity sets) and decay updates are emitted in
-// sorted pair order, so equal document streams produce equal update streams,
-// which is what makes the end-to-end story pipeline reproducible and
-// shard-count independent.
+// order (documents carry sorted entity sets) and decay/cancellation updates
+// are emitted in sorted pair order, so equal document streams produce equal
+// update streams, which is what makes the end-to-end story pipeline
+// reproducible and shard-count independent.
 type Aggregator struct {
 	cfg     AggregatorConfig
 	docs    DocumentSource
@@ -124,8 +209,22 @@ type Aggregator struct {
 	pos      int
 	decayEnd int // pending[:decayEnd] is the epoch-tick decay burst, the rest the document's pairs
 
+	// decayGroup marks that the current pending buffer opens with an epoch
+	// tick NextBatch has not yet handed out — set on every epoch crossing
+	// with fading in force, even when the burst itself is empty, so exact
+	// and rescaled replays see identical batch-group structure (rescaled
+	// epochs always ship a unit: the threshold update).
+	decayGroup       bool
+	pendingThreshold *ThresholdUpdate // the epoch's threshold unit (rescale mode)
+	thresholdUnit    ThresholdUpdate  // backing store, reused per epoch
+
+	lambda     float64       // cumulative decay scale λ (1 in exact mode)
+	retire     []retireEntry // max-heap on expLambda: largest expiry scale fires first
+	retiredBuf []retiredPair // reusable scratch for confirmed retirements
+	sortedKeys []pairKey     // exact mode: tracked pairs, kept sorted incrementally
+
 	stats    AggregatorStats
-	decayBuf []pairKey // reusable sorted-key scratch for epoch ticks
+	decayBuf []pairKey // reusable sorted-key scratch for renormalization
 }
 
 // NewAggregator wires docs through the co-occurrence aggregation. It returns
@@ -135,7 +234,7 @@ func NewAggregator(docs DocumentSource, cfg AggregatorConfig) (*Aggregator, erro
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	return &Aggregator{cfg: cfg, docs: docs, weights: make(map[pairKey]float64)}, nil
+	return &Aggregator{cfg: cfg, docs: docs, weights: make(map[pairKey]float64), lambda: 1}, nil
 }
 
 // MustAggregator is NewAggregator that panics on error; for tests and
@@ -158,17 +257,31 @@ func (g *Aggregator) Stats() AggregatorStats {
 	return s
 }
 
-// Weight returns the aggregator's current faded weight for the pair {a, b}
-// (0 if untracked). After a full drain through an engine this equals the
-// engine graph's edge weight up to float rounding.
+// Weight returns the aggregator's current stored weight for the pair {a, b}
+// (0 if untracked), in the same units the engine's graph holds: real faded
+// weight in exact mode, normalized weight w' = w/λ in rescaled mode (multiply
+// by Scale for the real faded value). After a full drain through an engine
+// this equals the engine graph's edge weight up to float rounding.
 func (g *Aggregator) Weight(a, b graph.Vertex) float64 {
 	return g.weights[makePairKey(a, b)]
 }
 
+// Scale returns the cumulative decay scale λ: stored weights are w' = w/λ.
+// It is 1 in exact mode and immediately after a renormalization pass.
+func (g *Aggregator) Scale() float64 { return g.lambda }
+
+// ErrNeedBatch is returned by Next in rescaled decay mode: an epoch tick is a
+// threshold batch unit, which has no per-update representation.
+var ErrNeedBatch = errors.New("stream: rescaled decay emits threshold batch units; drive the aggregator through NextBatch")
+
 // Next implements UpdateSource: it replays the queued deltas of the current
 // document (and any epoch tick that preceded it) and pulls the next document
-// when the queue runs dry.
+// when the queue runs dry. In rescaled decay mode Next returns ErrNeedBatch —
+// the stream is batch-structured and must be consumed through NextBatch.
 func (g *Aggregator) Next() (Update, error) {
+	if g.cfg.DecayMode == DecayRescale {
+		return Update{}, ErrNeedBatch
+	}
 	for g.pos >= len(g.pending) {
 		if err := g.ingest(); err != nil {
 			return Update{}, err
@@ -176,25 +289,34 @@ func (g *Aggregator) Next() (Update, error) {
 	}
 	u := g.pending[g.pos]
 	g.pos++
+	if g.pos >= g.decayEnd {
+		g.decayGroup = false
+	}
 	return u, nil
 }
 
 // NextBatch implements BatchSource: the queued deltas are handed out in their
-// natural coalescible groups — each epoch tick's decay burst as one batch
-// (Decay true) and each document's positive co-occurrence deltas as another —
-// so a batched replay ships one ProcessBatch per epoch tick or document
-// instead of one Process per pair. Groups follow the same deterministic order
-// Next yields individual updates in; mixing Next and NextBatch on one
-// aggregator hands out the remainder of the current group first.
+// natural coalescible groups — each epoch tick as one batch (Decay true,
+// carrying the threshold unit in rescaled mode) and each document's positive
+// co-occurrence deltas as another — so a batched replay ships one engine tick
+// per epoch or document instead of one Process per pair. An epoch tick's
+// batch may be empty (no fading deltas / no retirements) but is still
+// emitted: the tick itself is a unit of stream structure, and exact and
+// rescaled replays produce identical group sequences. Groups follow the same
+// deterministic order Next yields individual updates in; mixing Next and
+// NextBatch on one aggregator hands out the remainder of the current group
+// first.
 func (g *Aggregator) NextBatch() (Batch, error) {
-	for g.pos >= len(g.pending) {
+	for g.pos >= len(g.pending) && !g.decayGroup {
 		if err := g.ingest(); err != nil {
 			return Batch{}, err
 		}
 	}
-	if g.pos < g.decayEnd {
-		b := Batch{Updates: g.pending[g.pos:g.decayEnd], Decay: true}
+	if g.decayGroup {
+		b := Batch{Updates: g.pending[g.pos:g.decayEnd], Decay: true, Threshold: g.pendingThreshold}
 		g.pos = g.decayEnd
+		g.decayGroup = false
+		g.pendingThreshold = nil
 		return b, nil
 	}
 	b := Batch{Updates: g.pending[g.pos:]}
@@ -214,6 +336,8 @@ func (g *Aggregator) ingest() (err error) {
 	}
 	g.pending = g.pending[:0]
 	g.pos = 0
+	g.decayGroup = false
+	g.pendingThreshold = nil
 	g.stats.Docs++
 
 	epoch := doc.Time / g.cfg.EpochLength
@@ -221,38 +345,76 @@ func (g *Aggregator) ingest() (err error) {
 		g.started = true
 		g.epoch = epoch
 	} else if epoch > g.epoch {
-		g.applyDecay(epoch - g.epoch)
+		if g.cfg.DecayMode == DecayRescale {
+			g.applyDecayRescale(epoch - g.epoch)
+		} else {
+			g.applyDecay(epoch - g.epoch)
+		}
 		g.epoch = epoch
 	}
 	g.decayEnd = len(g.pending)
 	g.lastTime = doc.Time
 
 	ents := doc.Entities
+	docWeight := g.cfg.DocWeight / g.lambda // λ = 1 in exact mode
 	for i := 0; i < len(ents); i++ {
 		for j := i + 1; j < len(ents); j++ {
 			a, b := ents[i], ents[j]
-			g.weights[makePairKey(a, b)] += g.cfg.DocWeight
-			g.pending = append(g.pending, Update{A: a, B: b, Delta: g.cfg.DocWeight})
+			k := makePairKey(a, b)
+			w, tracked := g.weights[k]
+			w += docWeight
+			g.weights[k] = w
+			if !tracked {
+				g.trackPair(k, w)
+			}
+			g.pending = append(g.pending, Update{A: a, B: b, Delta: docWeight})
 			g.stats.PairUpdates++
 		}
 	}
 	return nil
 }
 
-// applyDecay fades every tracked pair by Decay^elapsed, queueing the negative
-// deltas in sorted pair order and retiring pairs below the prune threshold.
+// trackPair registers a pair that just went absent→present: exact mode keeps
+// the sorted sweep order incrementally (insert here, delete on retirement —
+// the satellite fix for the per-epoch rebuild+sort), rescaled mode records
+// the pair's expiry scale in the lazy-retirement heap. Pairs that gain more
+// weight later keep their (now stale-high) heap entry: it fires early, is
+// verified on pop, and gets re-keyed — see retireExpired.
+func (g *Aggregator) trackPair(k pairKey, w float64) {
+	if g.cfg.DecayMode == DecayRescale {
+		if g.cfg.PruneBelow > 0 {
+			g.heapPush(retireEntry{key: k, expLambda: g.expiryLambda(w)})
+		}
+		return
+	}
+	i, found := slices.BinarySearch(g.sortedKeys, k)
+	if !found {
+		g.sortedKeys = slices.Insert(g.sortedKeys, i, k)
+	}
+}
+
+// expiryLambda returns the cumulative scale below which a pair of normalized
+// weight w has faded under PruneBelow (w·λ < PruneBelow ⟺ λ < PruneBelow/w).
+// The slight inflation makes boundary cases fire one tick early — where the
+// pop-time verification catches them — rather than one tick late, which
+// would diverge from the exact sweep.
+func (g *Aggregator) expiryLambda(w float64) float64 {
+	return g.cfg.PruneBelow / w * (1 + 1e-12)
+}
+
+// applyDecay is the exact sweep: fade every tracked pair by Decay^elapsed,
+// queueing the negative deltas in sorted pair order and retiring pairs below
+// the prune threshold.
 func (g *Aggregator) applyDecay(elapsed int64) {
 	g.stats.Epochs += elapsed
 	factor := math.Pow(g.cfg.Decay, float64(elapsed))
 	if factor == 1 {
 		return
 	}
-	keys := g.decayBuf[:0]
-	for k := range g.weights {
-		keys = append(keys, k)
-	}
-	slices.Sort(keys)
-	g.decayBuf = keys
+	g.decayGroup = true
+	keys := g.sortedKeys
+	g.stats.EpochPairTouches += len(keys)
+	out := keys[:0] // compact survivors in place (read index ≥ write index)
 	for _, k := range keys {
 		w := g.weights[k]
 		faded := w * factor
@@ -264,6 +426,7 @@ func (g *Aggregator) applyDecay(elapsed int64) {
 		} else {
 			delta = faded - w
 			g.weights[k] = faded
+			out = append(out, k)
 		}
 		if delta == 0 {
 			continue
@@ -271,5 +434,150 @@ func (g *Aggregator) applyDecay(elapsed int64) {
 		a, b := k.vertices()
 		g.pending = append(g.pending, Update{A: a, B: b, Delta: delta})
 		g.stats.DecayUpdates++
+	}
+	g.sortedKeys = out
+}
+
+// applyDecayRescale is the O(1) epoch tick: fold the elapsed decay into the
+// cumulative scale λ (stored weights are untouched — they are normalized),
+// retire only the pairs whose expiry scale the new λ crossed, and queue one
+// threshold unit carrying λ for the engine. When λ underflows toward
+// renormBelow an amortized O(E) renormalization folds the scale back into
+// the stored weights first, so the same epoch unit carries the rescale
+// deltas and a Scale of exactly 1.
+func (g *Aggregator) applyDecayRescale(elapsed int64) {
+	g.stats.Epochs += elapsed
+	factor := math.Pow(g.cfg.Decay, float64(elapsed))
+	if factor == 1 {
+		return
+	}
+	g.lambda *= factor
+	g.decayGroup = true
+	if g.cfg.PruneBelow > 0 {
+		g.retireExpired()
+	}
+	if g.lambda < renormBelow {
+		g.renormalize()
+	}
+	g.thresholdUnit = ThresholdUpdate{Scale: g.lambda}
+	g.pendingThreshold = &g.thresholdUnit
+	g.stats.ThresholdUpdates++
+}
+
+// retireExpired pops every heap entry whose recorded expiry scale the current
+// λ has crossed. Each pop is verified against the authoritative weight:
+// confirmed expiries are deleted and their exact normalized cancellation
+// queued (in sorted pair order, matching the exact sweep's determinism);
+// stale-high entries — the pair gained weight since the entry was pushed —
+// are re-keyed with the accurate expiry scale, clamped to the current λ so a
+// float boundary can't re-fire them within the same tick.
+func (g *Aggregator) retireExpired() {
+	retired := g.retiredBuf[:0]
+	for len(g.retire) > 0 && g.retire[0].expLambda > g.lambda {
+		e := g.heapPop()
+		g.stats.EpochPairTouches++
+		w, tracked := g.weights[e.key]
+		if !tracked {
+			continue // defensive: the single-live-entry invariant makes this unreachable
+		}
+		if w*g.lambda < g.cfg.PruneBelow {
+			delete(g.weights, e.key)
+			retired = append(retired, retiredPair{key: e.key, w: w})
+			g.stats.Retired++
+			continue
+		}
+		exp := g.expiryLambda(w)
+		if exp > g.lambda {
+			exp = g.lambda
+		}
+		g.heapPush(retireEntry{key: e.key, expLambda: exp})
+	}
+	slices.SortFunc(retired, func(x, y retiredPair) int {
+		switch {
+		case x.key < y.key:
+			return -1
+		case x.key > y.key:
+			return 1
+		}
+		return 0
+	})
+	for _, r := range retired {
+		a, b := r.key.vertices()
+		g.pending = append(g.pending, Update{A: a, B: b, Delta: -r.w})
+		g.stats.DecayUpdates++
+	}
+	g.retiredBuf = retired
+}
+
+// renormalize folds the cumulative scale back into the stored weights
+// (w' ← w'·λ, λ ← 1), queueing the per-pair deltas in sorted order and
+// rebuilding the retirement heap against the fresh scale. It runs once per
+// ~⌈150 / -log10(Decay)⌉ epochs, so the O(E log E) cost amortizes to a
+// vanishing per-epoch share.
+func (g *Aggregator) renormalize() {
+	keys := g.decayBuf[:0]
+	for k := range g.weights {
+		keys = append(keys, k)
+	}
+	slices.Sort(keys)
+	g.decayBuf = keys
+	g.stats.EpochPairTouches += len(keys)
+	for _, k := range keys {
+		w := g.weights[k]
+		rescaled := w * g.lambda
+		g.weights[k] = rescaled
+		if delta := rescaled - w; delta != 0 {
+			a, b := k.vertices()
+			g.pending = append(g.pending, Update{A: a, B: b, Delta: delta})
+			g.stats.DecayUpdates++
+		}
+	}
+	g.lambda = 1
+	g.retire = g.retire[:0]
+	if g.cfg.PruneBelow > 0 {
+		for _, k := range keys {
+			g.heapPush(retireEntry{key: k, expLambda: g.expiryLambda(g.weights[k])})
+		}
+	}
+	g.stats.Renorms++
+}
+
+// heapPush inserts an entry into the max-heap on expLambda. The heap is
+// hand-rolled on the slice (rather than container/heap) to keep epoch ticks
+// free of interface boxing allocations.
+func (g *Aggregator) heapPush(e retireEntry) {
+	g.retire = append(g.retire, e)
+	i := len(g.retire) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if g.retire[parent].expLambda >= g.retire[i].expLambda {
+			break
+		}
+		g.retire[parent], g.retire[i] = g.retire[i], g.retire[parent]
+		i = parent
+	}
+}
+
+// heapPop removes and returns the entry with the largest expiry scale.
+func (g *Aggregator) heapPop() retireEntry {
+	top := g.retire[0]
+	last := len(g.retire) - 1
+	g.retire[0] = g.retire[last]
+	g.retire = g.retire[:last]
+	i, n := 0, last
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return top
+		}
+		big := l
+		if r := l + 1; r < n && g.retire[r].expLambda > g.retire[l].expLambda {
+			big = r
+		}
+		if g.retire[i].expLambda >= g.retire[big].expLambda {
+			return top
+		}
+		g.retire[i], g.retire[big] = g.retire[big], g.retire[i]
+		i = big
 	}
 }

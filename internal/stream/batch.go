@@ -17,6 +17,23 @@ type Batch struct {
 	// negative deltas, the segment epoch coalescing targets. Replay tracks
 	// decay and non-decay batches as separate throughput segments.
 	Decay bool
+	// Threshold, when non-nil, marks this batch as a rescaled-decay epoch
+	// unit: the Updates are the epoch's (usually empty) retirement
+	// cancellations in normalized units, and the engine must additionally
+	// move its output threshold to baseT/Scale — the O(1) form of fading
+	// every tracked pair (see Aggregator and core.ProcessThresholdBatch).
+	// Threshold batches always have Decay set.
+	Threshold *ThresholdUpdate
+}
+
+// ThresholdUpdate is the payload of a rescaled-decay epoch unit. Scale is the
+// cumulative decay factor λ in force after the epoch: the aggregator's stored
+// weights are normalized as w' = w/λ, so the engine rescales its density
+// threshold to baseT/Scale and multiplies emitted scores and densities by
+// Scale to restore real (paper-semantics) units. A renormalization epoch
+// resets Scale to exactly 1.
+type ThresholdUpdate struct {
+	Scale float64
 }
 
 // BatchSource produces a stream of update batches. NextBatch returns io.EOF

@@ -394,7 +394,10 @@ func TestBatchConformanceImplicitRepresentation(t *testing.T) {
 // pipeline in batch mode — aggregator epoch bursts and per-document deltas
 // shipped whole — and checks that every shard count produces the identical
 // lifecycle stream and story table, and that the planted stories are still
-// recovered.
+// recovered. Both fading realisations are exercised: the exact per-pair
+// sweep and the rescaled threshold-unit mode, whose single-engine batched
+// lifecycles must additionally agree with each other (the batch groups are
+// tick-aligned and story records carry no floats).
 func TestBatchedStoryPipelineShardedConformance(t *testing.T) {
 	docCfg := DocSynthConfig{
 		BackgroundEntities: 30,
@@ -407,12 +410,12 @@ func TestBatchedStoryPipelineShardedConformance(t *testing.T) {
 	engCfg := core.Config{T: 6.5, Nmax: 4}
 	trkCfg := story.Config{MinCardinality: 3, Grace: 40} // grace in batch ticks ≈ docs
 
-	run := func(k int) (*story.Tracker, ReplayStats, ShardReplayStats) {
+	run := func(k int, mode DecayMode) (*story.Tracker, ReplayStats, ShardReplayStats) {
 		gen, err := NewDocSynthetic(docCfg)
 		if err != nil {
 			t.Fatal(err)
 		}
-		agg := MustAggregator(gen, AggregatorConfig{EpochLength: 25, Decay: 0.7})
+		agg := MustAggregator(gen, AggregatorConfig{EpochLength: 25, Decay: 0.7, DecayMode: mode})
 		tracker := story.MustTracker(trkCfg)
 		if k == 0 {
 			eng := core.MustNew(engCfg)
@@ -427,7 +430,7 @@ func TestBatchedStoryPipelineShardedConformance(t *testing.T) {
 		defer se.Close()
 		se.SetSeqSink(tracker)
 		r := NewShardReplay(agg, se, nil)
-		st, err := r.RunBatches(0)
+		st, err := r.RunBatches(0, true)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -436,23 +439,35 @@ func TestBatchedStoryPipelineShardedConformance(t *testing.T) {
 		return tracker, ReplayStats{}, st
 	}
 
-	refTracker, refStats, _ := run(0)
-	if refStats.DecaySeg.Batches == 0 || refStats.DecaySeg.Updates == 0 {
-		t.Fatalf("batched pipeline saw no decay bursts: %+v", refStats)
+	var modeRefs []*story.Tracker
+	for _, mode := range []DecayMode{DecayExact, DecayRescale} {
+		t.Run(mode.String(), func(t *testing.T) {
+			refTracker, refStats, _ := run(0, mode)
+			if refStats.DecaySeg.Batches == 0 {
+				t.Fatalf("batched pipeline saw no decay bursts: %+v", refStats)
+			}
+			if mode == DecayExact && refStats.DecaySeg.Updates == 0 {
+				t.Fatalf("exact batched pipeline shipped no fade deltas: %+v", refStats)
+			}
+			if refStats.Ticks >= refStats.Updates {
+				t.Fatalf("coalescing did not reduce ticks: %d ticks for %d updates", refStats.Ticks, refStats.Updates)
+			}
+			if refTracker.Stats().Born == 0 {
+				t.Fatal("batched pipeline bore no stories; fixture too weak")
+			}
+			for _, k := range []int{1, 2, 4} {
+				shTracker, _, shStats := run(k, mode)
+				if shStats.Ticks != refStats.Ticks || shStats.Updates != refStats.Updates {
+					t.Fatalf("K=%d: tick/update accounting diverged: %d/%d vs %d/%d",
+						k, shStats.Ticks, shStats.Updates, refStats.Ticks, refStats.Updates)
+				}
+				requireSameRecords(t, fmt.Sprintf("K=%d", k), shTracker, refTracker)
+			}
+			modeRefs = append(modeRefs, refTracker)
+		})
 	}
-	if refStats.Ticks >= refStats.Updates {
-		t.Fatalf("coalescing did not reduce ticks: %d ticks for %d updates", refStats.Ticks, refStats.Updates)
-	}
-	if refTracker.Stats().Born == 0 {
-		t.Fatal("batched pipeline bore no stories; fixture too weak")
-	}
-	for _, k := range []int{1, 2, 4} {
-		shTracker, _, shStats := run(k)
-		if shStats.Ticks != refStats.Ticks || shStats.Updates != refStats.Updates {
-			t.Fatalf("K=%d: tick/update accounting diverged: %d/%d vs %d/%d",
-				k, shStats.Ticks, shStats.Updates, refStats.Ticks, refStats.Updates)
-		}
-		requireSameRecords(t, fmt.Sprintf("K=%d", k), shTracker, refTracker)
+	if len(modeRefs) == 2 {
+		requireSameRecords(t, "rescale vs exact", modeRefs[1], modeRefs[0])
 	}
 }
 

@@ -1,0 +1,445 @@
+// The exact-vs-rescale fading conformance suite: the evidence that the O(1)
+// rescaled decay representation (normalized weights + threshold units) is an
+// optimization, not an approximation.
+//
+// The two modes realise the same mathematical object — the faded co-occurrence
+// graph — in different units: exact mode stores real weights and sweeps every
+// pair each epoch; rescaled mode stores w' = w/λ and moves the engine's
+// threshold to T/λ instead. Uniform scaling preserves every density ratio, so
+// the suite pins:
+//
+//   - batch structure: both modes emit identical group sequences (one decay
+//     group per epoch crossing, one group per document), so batched replays
+//     are tick-aligned and the story pipeline — whose records carry no floats
+//     — must produce DEEP-EQUAL lifecycle records and story tables, single
+//     and sharded (K ∈ {1, 4});
+//   - end state: the expanded output-dense vertex sets must agree across all
+//     four drive modes (exact sequential, exact batched, rescaled
+//     uncoalesced, rescaled batched), and match brute.EnumerateAll on the
+//     engine's own (normalized) graph;
+//   - units: rescaled graph weights times λ must equal the exact graph's
+//     weights, and rescaled emitted densities are real-unit (the engine
+//     multiplies by λ at the emit boundary) — both to float tolerance;
+//   - retirement: the lazy expiry heap must retire exactly the pairs the
+//     exact sweep retires, at the same epoch, over randomized add/decay
+//     schedules with multi-epoch time jumps.
+package stream
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"slices"
+	"testing"
+
+	"dyndens/internal/baseline/brute"
+	"dyndens/internal/core"
+	"dyndens/internal/shard"
+	"dyndens/internal/story"
+	"dyndens/internal/vset"
+)
+
+// relClose reports |a-b| within rel·max(|a|,|b|) (or both zero).
+func relClose(a, b, rel float64) bool {
+	if a == b {
+		return true
+	}
+	return math.Abs(a-b) <= rel*math.Max(math.Abs(a), math.Abs(b))
+}
+
+// decayConfPipeline is one full documents→stories drive of the conformance
+// workload in the given mode.
+type decayConfPipeline struct {
+	eng     *core.Engine
+	agg     *Aggregator
+	tracker *story.Tracker
+	stats   ReplayStats
+}
+
+func runDecayConfPipeline(t *testing.T, docCfg DocSynthConfig, aggCfg AggregatorConfig, engCfg core.Config, drive func(*Replay) (ReplayStats, error)) *decayConfPipeline {
+	t.Helper()
+	gen, err := NewDocSynthetic(docCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &decayConfPipeline{
+		agg:     MustAggregator(gen, aggCfg),
+		eng:     core.MustNew(engCfg),
+		tracker: story.MustTracker(story.Config{MinCardinality: 3, Grace: 40}),
+	}
+	if p.stats, err = drive(NewReplay(p.agg, p.eng, p.tracker)); err != nil {
+		t.Fatal(err)
+	}
+	p.tracker.Close(uint64(p.stats.Ticks))
+	return p
+}
+
+// expandedKeys is the representation-independent result set: the expanded
+// output-dense subgraphs' canonical keys, sorted.
+func expandedKeys(eng *core.Engine) []string {
+	var out []string
+	for _, s := range eng.OutputDenseExpanded() {
+		out = append(out, s.Set.Key())
+	}
+	slices.Sort(out)
+	return out
+}
+
+// TestDecayModeConformance drives the same randomized document workload
+// through the four replay modes and checks the contracts in the package
+// comment. Decay 0.7 with PruneBelow defaulted retires pairs continuously,
+// so the lazy heap, the threshold units, and the cancellation path are all
+// exercised on every seed.
+func TestDecayModeConformance(t *testing.T) {
+	engCfg := core.Config{T: 6.5, Nmax: 4}
+	for seed := int64(7); seed <= 9; seed++ {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			docCfg := DocSynthConfig{
+				BackgroundEntities: 30,
+				Stories:            3,
+				StorySize:          4,
+				Docs:               600,
+				Seed:               seed,
+				BackgroundSkew:     1.1,
+			}
+			exactCfg := AggregatorConfig{EpochLength: 25, Decay: 0.7, DecayMode: DecayExact}
+			rescaleCfg := AggregatorConfig{EpochLength: 25, Decay: 0.7, DecayMode: DecayRescale}
+
+			exactSeq := runDecayConfPipeline(t, docCfg, exactCfg, engCfg, func(r *Replay) (ReplayStats, error) { return r.Run(64) })
+			exactBat := runDecayConfPipeline(t, docCfg, exactCfg, engCfg, func(r *Replay) (ReplayStats, error) { return r.RunBatches(0, true) })
+			rescaleSeq := runDecayConfPipeline(t, docCfg, rescaleCfg, engCfg, func(r *Replay) (ReplayStats, error) { return r.RunBatches(0, false) })
+			rescaleBat := runDecayConfPipeline(t, docCfg, rescaleCfg, engCfg, func(r *Replay) (ReplayStats, error) { return r.RunBatches(0, true) })
+
+			if rescaleBat.agg.Stats().ThresholdUpdates == 0 {
+				t.Fatal("rescaled drive emitted no threshold units; fixture too weak")
+			}
+			if exactBat.agg.Stats().Retired == 0 {
+				t.Fatal("workload retired no pairs; fixture too weak")
+			}
+
+			// Tick alignment: the batched modes must agree on batch structure —
+			// and therefore on the float-free story lifecycle, exactly.
+			if exactBat.stats.Ticks != rescaleBat.stats.Ticks {
+				t.Fatalf("batched tick counts diverge: exact %d, rescale %d", exactBat.stats.Ticks, rescaleBat.stats.Ticks)
+			}
+			requireSameRecords(t, "exact-batched vs rescale-batched", rescaleBat.tracker, exactBat.tracker)
+
+			// End state: expanded output-dense sets agree across all four
+			// drives and match the brute oracle on each engine's own graph
+			// (normalized units for the rescaled engines — the oracle scales
+			// with the graph it is given).
+			ref := expandedKeys(exactSeq.eng)
+			if len(ref) == 0 {
+				t.Fatal("no dense subgraphs at end of stream; fixture too weak")
+			}
+			for name, p := range map[string]*decayConfPipeline{
+				"exact-batched": exactBat, "rescale-uncoalesced": rescaleSeq, "rescale-batched": rescaleBat,
+			} {
+				if got := expandedKeys(p.eng); !slices.Equal(got, ref) {
+					t.Fatalf("%s: expanded dense set %v != exact sequential %v", name, got, ref)
+				}
+				cfg := p.eng.Config()
+				oracle := brute.Keys(brute.EnumerateAll(p.eng.Graph(), brute.Params{Measure: cfg.Measure, T: cfg.T, Nmax: cfg.Nmax}))
+				if got := expandedKeys(p.eng); !slices.Equal(got, oracle) {
+					t.Fatalf("%s: expanded dense set %v != oracle %v", name, got, oracle)
+				}
+			}
+
+			// Units: the rescaled engine's λ equals the aggregator's, stored
+			// weights are w' = w/λ, and reported densities are real-unit.
+			lambda := rescaleBat.agg.Scale()
+			if got := rescaleBat.eng.DecayScale(); got != lambda {
+				t.Fatalf("engine λ %v != aggregator λ %v", got, lambda)
+			}
+			if lambda >= 1 {
+				t.Fatalf("λ = %v after %d epochs; decay never applied", lambda, rescaleBat.agg.Stats().Epochs)
+			}
+			exactDens := map[string]float64{}
+			for _, s := range exactBat.eng.OutputDense() {
+				exactDens[s.Set.Key()] = s.Density
+			}
+			for _, s := range rescaleBat.eng.OutputDense() {
+				want, ok := exactDens[s.Set.Key()]
+				if !ok {
+					t.Fatalf("rescaled output-dense %s absent from exact engine", s.Set.Key())
+				}
+				if !relClose(s.Density, want, 1e-6) {
+					t.Fatalf("density of %s: rescaled %v != exact %v", s.Set.Key(), s.Density, want)
+				}
+			}
+			// Threshold identity: normalized T = baseT/λ.
+			if got, want := rescaleBat.eng.Config().T, engCfg.T/lambda; !relClose(got, want, 1e-9) {
+				t.Fatalf("normalized threshold %v != baseT/λ = %v", got, want)
+			}
+		})
+	}
+}
+
+// TestDecayModeShardedConformance pins the sharded rescaled pipeline: the
+// threshold epoch unit is broadcast to every worker as one sequenced batch,
+// so K ∈ {1, 4} must reproduce the single rescaled engine's story lifecycle
+// and table exactly, in both overlap policies.
+func TestDecayModeShardedConformance(t *testing.T) {
+	docCfg := DocSynthConfig{
+		BackgroundEntities: 30,
+		Stories:            3,
+		StorySize:          4,
+		Docs:               600,
+		Seed:               7,
+		BackgroundSkew:     1.1,
+	}
+	aggCfg := AggregatorConfig{EpochLength: 25, Decay: 0.7, DecayMode: DecayRescale}
+	engCfg := core.Config{T: 6.5, Nmax: 4}
+	trkCfg := story.Config{MinCardinality: 3, Grace: 40}
+
+	ref := runDecayConfPipeline(t, docCfg, aggCfg, engCfg, func(r *Replay) (ReplayStats, error) { return r.RunBatches(0, true) })
+	if ref.tracker.Stats().Born == 0 {
+		t.Fatal("reference bore no stories; fixture too weak")
+	}
+	for _, k := range []int{1, 4} {
+		for _, ov := range []shard.Overlap{shard.OverlapScoped, shard.OverlapMirror} {
+			gen, err := NewDocSynthetic(docCfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			agg := MustAggregator(gen, aggCfg)
+			se := shard.MustNew(shard.Config{Shards: k, Engine: engCfg, Overlap: ov})
+			tracker := story.MustTracker(trkCfg)
+			se.SetSeqSink(tracker)
+			r := NewShardReplay(agg, se, nil)
+			st, err := r.RunBatches(0, true)
+			if err != nil {
+				t.Fatal(err)
+			}
+			r.Flush()
+			tracker.Close(uint64(st.Ticks))
+			if st.Ticks != ref.stats.Ticks {
+				t.Fatalf("K=%d %s: %d ticks, single %d", k, ov, st.Ticks, ref.stats.Ticks)
+			}
+			requireSameRecords(t, fmt.Sprintf("K=%d %s", k, ov), tracker, ref.tracker)
+			se.Close()
+		}
+	}
+}
+
+// drainAggregatorBatches pulls every batch of one aggregator, handing each to
+// visit with the λ in effect after the batch was formed.
+func drainAggregatorBatches(t *testing.T, agg *Aggregator, visit func(b Batch, lambda float64)) {
+	t.Helper()
+	for {
+		b, err := agg.NextBatch()
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				return
+			}
+			t.Fatal(err)
+		}
+		visit(b, agg.Scale())
+	}
+}
+
+// TestRescaleRetirementMatchesExactSweep is the lazy-heap property test: over
+// randomized document schedules — bursty pair adds, single- and multi-epoch
+// time jumps, re-added pairs that invalidate heap entries — the rescaled
+// aggregator must retire exactly the pairs the exact sweep retires, in the
+// same epoch batch, and the surviving weights must agree in real units. Both
+// sides are mirrored purely from the emitted update streams, so the test
+// also pins that cancellations telescope to exact zero in each mode's own
+// units.
+func TestRescaleRetirementMatchesExactSweep(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			var docs []Document
+			now := int64(0)
+			for i := 0; i < 400; i++ {
+				// 60%: same epoch; 30%: next epoch; 10%: jump 2–5 epochs.
+				switch r := rng.Float64(); {
+				case r < 0.30:
+					now += 10
+				case r < 0.40:
+					now += 10 * int64(2+rng.Intn(4))
+				}
+				a := vset.Vertex(rng.Intn(12))
+				b := vset.Vertex(rng.Intn(12))
+				for b == a {
+					b = vset.Vertex(rng.Intn(12))
+				}
+				docs = append(docs, Document{Time: now, Entities: vset.New(a, b)})
+			}
+			cfg := AggregatorConfig{EpochLength: 10, Decay: 0.5, PruneBelow: 0.05}
+
+			type mirror struct {
+				weights map[[2]core.Vertex]float64
+				batches [][]string // retired pair keys per decay batch, in emission order
+			}
+			drain := func(mode DecayMode) (*mirror, AggregatorStats) {
+				exCfg := cfg
+				exCfg.DecayMode = mode
+				agg := MustAggregator(NewSliceDocSource(docs), exCfg)
+				m := &mirror{weights: map[[2]core.Vertex]float64{}}
+				drainAggregatorBatches(t, agg, func(b Batch, lambda float64) {
+					var retired []string
+					for _, u := range b.Updates {
+						k := [2]core.Vertex{u.A, u.B}
+						m.weights[k] += u.Delta
+						if b.Decay && m.weights[k] == 0 {
+							delete(m.weights, k)
+							retired = append(retired, fmt.Sprintf("%d-%d", u.A, u.B))
+						}
+					}
+					if b.Decay {
+						m.batches = append(m.batches, retired)
+					}
+				})
+				// Real units for comparison: exact λ is 1, so this is a no-op
+				// there; rescaled mirrors hold normalized weights.
+				for k, w := range m.weights {
+					m.weights[k] = w * agg.Scale()
+				}
+				return m, agg.Stats()
+			}
+
+			exact, exactStats := drain(DecayExact)
+			rescale, rescaleStats := drain(DecayRescale)
+
+			if exactStats.Retired == 0 {
+				t.Fatal("schedule retired no pairs; fixture too weak")
+			}
+			if rescaleStats.Retired != exactStats.Retired {
+				t.Fatalf("retired counts diverge: rescale %d, exact %d", rescaleStats.Retired, exactStats.Retired)
+			}
+			if len(rescale.batches) != len(exact.batches) {
+				t.Fatalf("decay batch counts diverge: rescale %d, exact %d", len(rescale.batches), len(exact.batches))
+			}
+			for i := range exact.batches {
+				if !slices.Equal(rescale.batches[i], exact.batches[i]) {
+					t.Fatalf("decay batch %d: rescale retired %v, exact retired %v", i, rescale.batches[i], exact.batches[i])
+				}
+			}
+			if len(rescale.weights) != len(exact.weights) {
+				t.Fatalf("surviving pair counts diverge: rescale %d, exact %d", len(rescale.weights), len(exact.weights))
+			}
+			for k, want := range exact.weights {
+				if got, ok := rescale.weights[k]; !ok || !relClose(got, want, 1e-9) {
+					t.Fatalf("pair %v: rescaled real weight %v != exact %v", k, rescale.weights[k], want)
+				}
+			}
+			// The whole point: the rescaled drain touched only expiring pairs,
+			// the exact sweep touched every tracked pair every epoch.
+			if rescaleStats.EpochPairTouches >= exactStats.EpochPairTouches {
+				t.Fatalf("rescaled touches %d not below exact sweep's %d", rescaleStats.EpochPairTouches, exactStats.EpochPairTouches)
+			}
+			// Each touch is either a confirmed retirement or a stale-high
+			// re-key (the pair gained weight after its entry was pushed, so
+			// the entry fires early once). Re-keys are bounded by pair
+			// additions — amortized O(1) per update, never O(E) per epoch.
+			if rescaleStats.EpochPairTouches < rescaleStats.Retired {
+				t.Fatalf("rescaled touches %d below retirements %d", rescaleStats.EpochPairTouches, rescaleStats.Retired)
+			}
+			if extra := rescaleStats.EpochPairTouches - rescaleStats.Retired; extra > rescaleStats.PairUpdates {
+				t.Fatalf("%d stale re-keys exceed %d pair additions", extra, rescaleStats.PairUpdates)
+			}
+		})
+	}
+}
+
+// TestRescaleEpochIsO1AndAllocFree pins the tentpole's cost model: with no
+// retirements due, a rescaled decay epoch touches zero per-pair state no
+// matter how many pairs are tracked (EpochPairTouches stays flat) and the
+// whole NextBatch cycle — epoch tick plus next document — allocates nothing
+// in steady state.
+func TestRescaleEpochIsO1AndAllocFree(t *testing.T) {
+	// 190 tracked background pairs, all far above PruneBelow; then one doc per
+	// epoch on a fixed pair so every ingest crosses an epoch boundary.
+	var docs []Document
+	var warm []vset.Vertex
+	for v := 0; v < 20; v++ {
+		warm = append(warm, vset.Vertex(v))
+	}
+	docs = append(docs, Document{Time: 0, Entities: vset.New(warm...)})
+	const epochs = 160
+	for i := 1; i <= epochs; i++ {
+		docs = append(docs, Document{Time: int64(10 * i), Entities: vset.New(0, 1)})
+	}
+	agg := MustAggregator(NewSliceDocSource(docs), AggregatorConfig{
+		EpochLength: 10, Decay: 0.99, DocWeight: 1000, PruneBelow: 1e-3, DecayMode: DecayRescale,
+	})
+	// Warmup: the clique doc (buffer growth) plus a few full epoch cycles
+	// (decay group + document group each).
+	if _, err := agg.NextBatch(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if _, err := agg.NextBatch(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	touchesBefore := agg.Stats().EpochPairTouches
+	allocs := testing.AllocsPerRun(50, func() {
+		// One epoch tick (decay group) + one document group.
+		if _, err := agg.NextBatch(); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := agg.NextBatch(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("rescaled epoch cycle performed %v allocs/run, want 0", allocs)
+	}
+	st := agg.Stats()
+	if st.EpochPairTouches != touchesBefore {
+		t.Errorf("no-retirement epochs touched %d pairs, want 0 (was %d, now %d)",
+			st.EpochPairTouches-touchesBefore, touchesBefore, st.EpochPairTouches)
+	}
+	if st.TrackedPairs < 150 {
+		t.Fatalf("only %d tracked pairs; fixture too weak for an O(1)-vs-O(E) claim", st.TrackedPairs)
+	}
+	if st.ThresholdUpdates == 0 {
+		t.Fatal("no threshold units emitted; epochs did not tick")
+	}
+}
+
+// TestRescaleRenormalization forces λ under the renormalization floor with a
+// brutal per-epoch decay and checks the full pipeline survives it: the
+// renorm epoch folds λ back into the stored weights (Scale returns to 1, the
+// engine returns to the base threshold), and the engine's graph still agrees
+// with the aggregator's weights in the new units.
+func TestRescaleRenormalization(t *testing.T) {
+	// Decay 1e-40 per epoch: λ crosses 1e-150 on the 4th epoch tick.
+	var docs []Document
+	for i := 0; i <= 8; i++ {
+		docs = append(docs, Document{Time: int64(10 * i), Entities: vset.New(0, 1, 2)})
+	}
+	aggCfg := AggregatorConfig{EpochLength: 10, Decay: 1e-40, PruneBelow: -1, DecayMode: DecayRescale}
+	agg := MustAggregator(NewSliceDocSource(docs), aggCfg)
+	eng := core.MustNew(core.Config{T: 2, Nmax: 4})
+	if _, err := NewReplay(agg, eng, nil).RunBatches(0, true); err != nil {
+		t.Fatal(err)
+	}
+	st := agg.Stats()
+	if st.Renorms == 0 {
+		t.Fatalf("λ never underflowed: %+v (λ=%v)", st, agg.Scale())
+	}
+	if agg.Scale() >= 1e-150 && agg.Scale() != 1 {
+		// After the last epoch λ is either freshly renormalized (1) or has
+		// restarted its decline; it must never sit below the floor.
+		t.Fatalf("λ = %v left below the renormalization floor", agg.Scale())
+	}
+	if got, want := eng.DecayScale(), agg.Scale(); got != want {
+		t.Fatalf("engine λ %v != aggregator λ %v", got, want)
+	}
+	// Graph agreement in normalized units.
+	for _, pair := range [][2]core.Vertex{{0, 1}, {0, 2}, {1, 2}} {
+		want := agg.Weight(pair[0], pair[1])
+		if got := eng.Graph().Weight(pair[0], pair[1]); !relClose(got, want, 1e-9) {
+			t.Fatalf("edge %v: engine weight %v != aggregator %v", pair, got, want)
+		}
+		if want == 0 {
+			t.Fatalf("pair %v lost its weight entirely", pair)
+		}
+	}
+}

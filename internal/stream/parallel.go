@@ -224,11 +224,15 @@ func (r *ShardReplay) Run(batchSize int) (ShardReplayStats, error) {
 }
 
 // RunBatches drains the source batch by batch (the source's own batches when
-// it implements BatchSource, fixed chunks of readBatch updates otherwise),
-// shipping each whole batch to the sharded engine as one coalesced unit —
-// one worker-channel broadcast and one merger sequence slot per batch instead
-// of per update — then flushes and returns the final statistics.
-func (r *ShardReplay) RunBatches(readBatch int) (ShardReplayStats, error) {
+// it implements BatchSource, fixed chunks of readBatch updates otherwise).
+// With coalesce true each whole batch ships to the sharded engine as one
+// coalesced unit — one worker-channel broadcast and one merger sequence slot
+// per batch instead of per update; with coalesce false the batch's updates
+// are fed per-update (ProcessAll), the sequential-semantics baseline.
+// Threshold batch units — rescaled-decay epochs — are inherently atomic and
+// ship as one broadcast unit in both modes. Flushes and returns the final
+// statistics.
+func (r *ShardReplay) RunBatches(readBatch int, coalesce bool) (ShardReplayStats, error) {
 	if r.done {
 		return r.Stats(), nil
 	}
@@ -245,10 +249,19 @@ func (r *ShardReplay) RunBatches(readBatch int) (ShardReplayStats, error) {
 		if r.start.IsZero() {
 			r.start = time.Now()
 		}
-		r.se.ProcessBatch(b.Updates)
+		switch {
+		case b.Threshold != nil:
+			r.se.ProcessThresholdBatch(b.Threshold.Scale, b.Updates)
+			r.stats.Ticks++
+		case coalesce:
+			r.se.ProcessBatch(b.Updates)
+			r.stats.Ticks++ // empty batches are still boundary ticks
+		default:
+			r.se.ProcessAll(b.Updates)
+			r.stats.Ticks += len(b.Updates)
+		}
 		r.stats.Updates += len(b.Updates)
-		r.stats.Ticks++ // empty batches are still boundary ticks
-		if len(b.Updates) > 0 {
+		if len(b.Updates) > 0 || b.Threshold != nil {
 			r.stats.Batches++
 		}
 	}

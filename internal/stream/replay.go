@@ -215,6 +215,11 @@ func (r *Replay) Run(batchSize int) (ReplayStats, error) {
 // updates are processed one Process call at a time but timed as a group,
 // which is the apples-to-apples sequential baseline for the batched mode (the
 // same grouping, the same timer granularity, per-update semantics).
+//
+// Threshold batch units — rescaled-decay epochs — are inherently atomic: they
+// go through Engine.ProcessThresholdBatch as one tick in both modes, so a
+// rescaled stream replays under either coalesce setting (the setting then
+// only governs document batches).
 func (r *Replay) RunBatches(readBatch int, coalesce bool) (ReplayStats, error) {
 	if r.done {
 		return r.Stats(), nil
@@ -230,16 +235,19 @@ func (r *Replay) RunBatches(readBatch int, coalesce bool) (ReplayStats, error) {
 			return r.Stats(), err
 		}
 		start := time.Now()
-		if coalesce {
+		switch {
+		case b.Threshold != nil:
+			r.eng.ProcessThresholdBatch(b.Threshold.Scale, b.Updates)
+		case coalesce:
 			r.eng.ProcessBatch(b.Updates)
-		} else {
+		default:
 			for _, u := range b.Updates {
 				r.eng.Process(u)
 			}
 		}
 		elapsed := time.Since(start)
 		r.stats.Updates += len(b.Updates)
-		if coalesce {
+		if coalesce || b.Threshold != nil {
 			r.stats.Ticks++ // empty batches are still boundary ticks
 		} else {
 			r.stats.Ticks += len(b.Updates)
@@ -251,10 +259,13 @@ func (r *Replay) RunBatches(readBatch int, coalesce bool) (ReplayStats, error) {
 		}
 		seg.Updates += len(b.Updates)
 		seg.Elapsed += elapsed
-		if len(b.Updates) > 0 {
+		if len(b.Updates) > 0 || b.Threshold != nil {
 			// Batches counts batches that processed at least one update, like
 			// the sequential driver; empty no-op ticks would skew per-batch
-			// throughput derived from the stats.
+			// throughput derived from the stats. Threshold units count even
+			// when they carry no cancellations: the threshold walk is real
+			// engine work and is what the decay segment measures in rescaled
+			// mode.
 			r.stats.Batches++
 			seg.Batches++
 			if r.stats.MinBatchLatency == 0 || elapsed < r.stats.MinBatchLatency {

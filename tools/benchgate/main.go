@@ -14,6 +14,7 @@
 //	benchgate -snapshot BENCH_PR5.json [-min-decay-speedup 2.0]
 //	benchgate -snapshot BENCH_PR6.json [-min-scoped-speedup 1.5]
 //	benchgate -snapshot BENCH_PR7.json [-min-read-qps 50000]
+//	benchgate -snapshot BENCH_PR8.json [-min-decay-rescale-speedup 5.0]
 //
 // The -snapshot form validates a committed `dyndens bench -json`
 // perf-trajectory snapshot instead of comparing two live runs, so a
@@ -25,7 +26,11 @@
 // scoped-vs-mirror speedup at K=4 — the delivery-policy win at equal
 // parallelism, the core-count-independent headline of scoped shard routing;
 // and a serve block (from `dyndens bench -serve-readers`) must record at
-// least the given closed-loop read throughput against the live story view.
+// least the given closed-loop read throughput against the live story view;
+// and a decay_mode_compare block (from `dyndens bench -decay-compare`) must
+// record at least the given rescale-vs-exact elapsed-time speedup on the
+// decay-burst segment — the O(1)-epoch-decay win of normalized weights over
+// the paper-literal per-pair fade sweep.
 // Explicitly passing a gate's flag makes its block mandatory; a snapshot
 // carrying no gateable block always fails.
 //
@@ -157,6 +162,10 @@ type snapshot struct {
 		ReadQPS float64 `json:"read_qps"`
 		P99Ns   int64   `json:"p99_ns"`
 	} `json:"serve"`
+	DecayModeCompare *struct {
+		DecaySegmentSpeedup float64 `json:"decay_segment_speedup"`
+		OverallSpeedup      float64 `json:"overall_speedup"`
+	} `json:"decay_mode_compare"`
 }
 
 // snapshotGates carries each snapshot gate's floor and whether its flag was
@@ -168,6 +177,8 @@ type snapshotGates struct {
 	ScopedSet        bool
 	MinReadQPS       float64
 	ReadQPSSet       bool
+	MinRescale       float64
+	RescaleSet       bool
 }
 
 // gateSnapshot validates a committed bench snapshot, writing the per-gate
@@ -217,8 +228,20 @@ func gateSnapshot(path string, data []byte, g snapshotGates, w io.Writer) error 
 		}
 		gated = true
 	}
+	if s.DecayModeCompare != nil || g.RescaleSet {
+		if s.DecayModeCompare == nil {
+			return gateFailf("%s carries no decay_mode_compare block (not a -decay-compare snapshot)", path)
+		}
+		fmt.Fprintf(w, "%s: rescale-vs-exact decay-segment speedup %.2fx (overall %.2fx), floor %.2fx\n",
+			path, s.DecayModeCompare.DecaySegmentSpeedup, s.DecayModeCompare.OverallSpeedup, g.MinRescale)
+		if s.DecayModeCompare.DecaySegmentSpeedup < g.MinRescale {
+			return gateFailf("rescale-vs-exact decay-segment speedup %.2fx below the %.2fx floor",
+				s.DecayModeCompare.DecaySegmentSpeedup, g.MinRescale)
+		}
+		gated = true
+	}
 	if !gated {
-		return gateFailf("%s carries no gateable block (want batch_compare, scaling, or serve)", path)
+		return gateFailf("%s carries no gateable block (want batch_compare, scaling, serve, or decay_mode_compare)", path)
 	}
 	return nil
 }
@@ -232,6 +255,7 @@ func main() {
 	flag.Float64Var(&g.MinDecaySpeedup, "min-decay-speedup", 2.0, "with -snapshot: minimum required batched-vs-sequential speedup on the decay segment")
 	flag.Float64Var(&g.MinScopedSpeedup, "min-scoped-speedup", 1.5, "with -snapshot: minimum required scoped-vs-mirror delivery speedup at K=4 in the scaling block")
 	flag.Float64Var(&g.MinReadQPS, "min-read-qps", 50_000, "with -snapshot: minimum required closed-loop read throughput in the serve block")
+	flag.Float64Var(&g.MinRescale, "min-decay-rescale-speedup", 5.0, "with -snapshot: minimum required rescale-vs-exact elapsed-time speedup on the decay segment in the decay_mode_compare block")
 	flag.Parse()
 	flag.Visit(func(f *flag.Flag) {
 		switch f.Name {
@@ -241,6 +265,8 @@ func main() {
 			g.ScopedSet = true
 		case "min-read-qps":
 			g.ReadQPSSet = true
+		case "min-decay-rescale-speedup":
+			g.RescaleSet = true
 		}
 	})
 

@@ -135,6 +135,25 @@ func TestGateSnapshotSelection(t *testing.T) {
 			gateFail: true,
 		},
 		{
+			name:  "decay-mode block passes its floor",
+			json:  `{"decay_mode_compare": {"decay_segment_speedup": 12.5, "overall_speedup": 2.1}}`,
+			gates: snapshotGates{MinRescale: 5.0},
+		},
+		{
+			name:     "decay-mode block below floor",
+			json:     `{"decay_mode_compare": {"decay_segment_speedup": 3.2}}`,
+			gates:    snapshotGates{MinRescale: 5.0},
+			wantErr:  "rescale-vs-exact decay-segment speedup 3.20x below the 5.00x floor",
+			gateFail: true,
+		},
+		{
+			name:     "explicit rescale flag with missing block",
+			json:     `{"serve": {"readers": 4, "read_qps": 120000}}`,
+			gates:    snapshotGates{MinReadQPS: 50_000, MinRescale: 5.0, RescaleSet: true},
+			wantErr:  "no decay_mode_compare block",
+			gateFail: true,
+		},
+		{
 			name:     "no gateable block",
 			json:     `{"updates_per_second": 12345}`,
 			gates:    snapshotGates{},
