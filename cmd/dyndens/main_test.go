@@ -295,6 +295,35 @@ func TestStoriesShardedLifecycleParity(t *testing.T) {
 	}
 }
 
+// TestStoriesAggWorkersLifecycleParity pins the CLI end of the pipelined
+// front-end's determinism contract: the full lifecycle log must be identical
+// between the serial in-line aggregator and the parallel pipeline at every
+// worker count (the internal/stream conformance matrix pins the update
+// stream itself; this covers the flag wiring and the Stats plumbing).
+func TestStoriesAggWorkersLifecycleParity(t *testing.T) {
+	input := filepath.Join("testdata", "docs_small.docs")
+	run := func(workers string) (lifecycle []string, raw string) {
+		out := captureStdout(t, func() error {
+			return cmdStoriesRun([]string{"-input", input, "-agg-workers", workers})
+		})
+		return storyLifecycleLines(out), out
+	}
+	ref, _ := run("0")
+	if len(ref) == 0 {
+		t.Fatal("serial stories run produced no lifecycle output")
+	}
+	for _, workers := range []string{"1", "2", "4"} {
+		got, raw := run(workers)
+		if strings.Join(got, "\n") != strings.Join(ref, "\n") {
+			t.Errorf("lifecycle output differs between serial and -agg-workers %s:\n--- serial ---\n%s\n--- pipelined ---\n%s",
+				workers, strings.Join(ref, "\n"), strings.Join(got, "\n"))
+		}
+		if !strings.Contains(raw, "ingest{") {
+			t.Errorf("-agg-workers %s summary is missing the ingest{...} stage accounting:\n%s", workers, raw)
+		}
+	}
+}
+
 // TestStoriesRunSynthMatchesFileInput checks that -synth with the golden
 // flags reproduces the committed document stream's lifecycle output (the
 // file is itself a gen-docs capture of the default configuration).

@@ -28,6 +28,7 @@ func cmdRun(args []string) error {
 	batchMode := fs.Bool("batch", false, "coalesce batches through Engine.ProcessBatch (batches delimited by `%%` lines, split at -read-batch; net events per batch)")
 	shards := fs.Int("shards", 0, "partition the engine across K workers (0 = single-threaded)")
 	newOverlap := overlapFlag(fs)
+	newAggWorkers := aggWorkersFlag(fs)
 	quiet := fs.Bool("quiet", false, "suppress per-event output, print only the summary")
 	minCard := fs.Int("min-card", 0, "only report subgraphs with at least this many vertices")
 	watch := fs.String("watch", "", "comma-separated vertex watchlist; only report subgraphs containing one")
@@ -51,6 +52,10 @@ func cmdRun(args []string) error {
 	if _, err := newOverlap(); err != nil {
 		return err
 	}
+	aggWorkers, err := newAggWorkers()
+	if err != nil {
+		return fmt.Errorf("run: %w", err)
+	}
 	watchSet, err := parseWatchlist(*watch)
 	if err != nil {
 		return err
@@ -68,18 +73,28 @@ func cmdRun(args []string) error {
 		defer f.Close()
 		fileSrc = f
 	}
-	if *batchMode {
+	if *batchMode || aggWorkers > 0 {
 		// Memory guard for coalesced replay: a marker-less stream is one
 		// whole-stream batch, so cap batches at the read size — runs longer
 		// than -read-batch split into their own ticks. SetMaxBatch treats
 		// n ≤ 0 as "no cap", which would silently disable the guard; reject
-		// it here like the sequential driver does.
+		// it here like the sequential driver does. The pipelined front-end
+		// needs the same cap: its handoff unit is the source batch, and an
+		// unbounded batch would buffer the whole stream in one queue entry.
 		if *batch <= 0 {
 			return fmt.Errorf("run: -read-batch must be positive, got %d", *batch)
 		}
 		fileSrc.SetMaxBatch(*batch)
 	}
 	src = fileSrc
+	if aggWorkers > 0 {
+		// Edge streams have no expansion stage, so N > 0 just moves reading
+		// and parsing onto a producer goroutine that runs ahead of the engine
+		// behind a bounded handoff queue; the batch sequence is unchanged.
+		pipe := stream.NewPipelinedBatchSource(fileSrc, *batch, stream.PipelineConfig{})
+		defer pipe.Close()
+		src = pipe
+	}
 
 	// Sink chain: filter → counter (+ printer unless -quiet).
 	counter := &core.CountingSink{}

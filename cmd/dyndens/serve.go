@@ -46,6 +46,7 @@ func cmdServe(args []string) error {
 	batchMode := fs.Bool("batch", false, "epoch coalescing: ship each decay burst and each document's deltas whole as one Engine.ProcessBatch (story grace then counts batch ticks)")
 	shards := fs.Int("shards", 0, "partition the engine across K workers (0 = single-threaded)")
 	newOverlap := overlapFlag(fs)
+	newAggWorkers := aggWorkersFlag(fs)
 	quiet := fs.Bool("quiet", false, "suppress the streaming lifecycle log on stdout")
 	exitAfter := fs.Bool("exit-after-ingest", false, "shut down once the input is exhausted instead of serving the final table indefinitely")
 	linger := fs.Duration("linger", 0, "with -exit-after-ingest: keep serving this long after ingestion completes")
@@ -64,6 +65,10 @@ func cmdServe(args []string) error {
 	}
 	if _, err := newOverlap(); err != nil {
 		return err
+	}
+	aggWorkers, err := newAggWorkers()
+	if err != nil {
+		return fmt.Errorf("serve: %w", err)
 	}
 	engCfg, err := newEngineCfg()
 	if err != nil {
@@ -101,10 +106,11 @@ func cmdServe(args []string) error {
 		docs = f
 	}
 
-	agg, err := stream.NewAggregator(docs, aggCfg)
+	front, closeFront, err := newDocFrontEnd(docs, aggCfg, aggWorkers)
 	if err != nil {
 		return err
 	}
+	defer closeFront()
 	tracker, err := story.NewTracker(trkCfg)
 	if err != nil {
 		return err
@@ -169,7 +175,7 @@ func cmdServe(args []string) error {
 			}
 			defer se.Close()
 			se.SetSeqSink(bld)
-			r := stream.NewShardReplay(agg, se, nil)
+			r := stream.NewShardReplay(front, se, nil)
 			var st stream.ShardReplayStats
 			switch {
 			case *batchMode:
@@ -187,7 +193,7 @@ func cmdServe(args []string) error {
 				ingestState.Store(&ingestSummary{Complete: true, Updates: st.Updates, Ticks: st.Ticks, UpdatesPerSecond: st.UpdatesPerSecond()})
 				summarize = func() {
 					fmt.Println(st)
-					fmt.Println(agg.Stats())
+					fmt.Println(front.Stats())
 					printStoryTable(tracker)
 					fmt.Println(shardedSummary(se.Stats()))
 				}
@@ -198,7 +204,7 @@ func cmdServe(args []string) error {
 				ingestDone <- cerr
 				return
 			}
-			r := stream.NewReplay(agg, eng, bld)
+			r := stream.NewReplay(front, eng, bld)
 			var st stream.ReplayStats
 			switch {
 			case *batchMode:
@@ -213,7 +219,7 @@ func cmdServe(args []string) error {
 				ingestState.Store(&ingestSummary{Complete: true, Updates: st.Updates, Ticks: st.Ticks, UpdatesPerSecond: st.UpdatesPerSecond()})
 				summarize = func() {
 					fmt.Println(st)
-					fmt.Println(agg.Stats())
+					fmt.Println(front.Stats())
 					printStoryTable(tracker)
 					fmt.Println(engineSummary(eng))
 				}

@@ -232,6 +232,7 @@ func cmdStoriesRun(args []string) error {
 	batchMode := fs.Bool("batch", false, "epoch coalescing: ship each decay burst and each document's deltas whole as one Engine.ProcessBatch (story grace then counts batch ticks)")
 	shards := fs.Int("shards", 0, "partition the engine across K workers (0 = single-threaded)")
 	newOverlap := overlapFlag(fs)
+	newAggWorkers := aggWorkersFlag(fs)
 	quiet := fs.Bool("quiet", false, "suppress the streaming lifecycle log, print only summaries and the table")
 	newSynthCfg := docSynthFlags(fs)
 	newAggCfg := aggregatorFlags(fs)
@@ -245,6 +246,10 @@ func cmdStoriesRun(args []string) error {
 	}
 	if *shards < 0 {
 		return fmt.Errorf("stories run: -shards must be ≥ 0, got %d", *shards)
+	}
+	aggWorkers, err := newAggWorkers()
+	if err != nil {
+		return fmt.Errorf("stories run: %w", err)
 	}
 	// Validate even for the single-threaded path, where the value is unused —
 	// a typo'd -overlap should fail loudly regardless of -shards.
@@ -287,10 +292,11 @@ func cmdStoriesRun(args []string) error {
 		docs = f
 	}
 
-	agg, err := stream.NewAggregator(docs, aggCfg)
+	front, closeFront, err := newDocFrontEnd(docs, aggCfg, aggWorkers)
 	if err != nil {
 		return err
 	}
+	defer closeFront()
 	tracker, err := story.NewTracker(trkCfg)
 	if err != nil {
 		return err
@@ -310,7 +316,7 @@ func cmdStoriesRun(args []string) error {
 		}
 		defer se.Close()
 		se.SetSeqSink(tracker)
-		r := stream.NewShardReplay(agg, se, nil)
+		r := stream.NewShardReplay(front, se, nil)
 		var st stream.ShardReplayStats
 		switch {
 		case *batchMode:
@@ -328,7 +334,7 @@ func cmdStoriesRun(args []string) error {
 		}
 		tracker.Close(uint64(st.Ticks))
 		fmt.Println(st)
-		fmt.Println(agg.Stats())
+		fmt.Println(front.Stats())
 		printStoryTable(tracker)
 		fmt.Println(shardedSummary(se.Stats()))
 		return nil
@@ -338,7 +344,7 @@ func cmdStoriesRun(args []string) error {
 	if err != nil {
 		return err
 	}
-	r := stream.NewReplay(agg, eng, tracker)
+	r := stream.NewReplay(front, eng, tracker)
 	var st stream.ReplayStats
 	switch {
 	case *batchMode:
@@ -354,7 +360,7 @@ func cmdStoriesRun(args []string) error {
 	}
 	tracker.Close(uint64(st.Ticks))
 	fmt.Println(st)
-	fmt.Println(agg.Stats())
+	fmt.Println(front.Stats())
 	printStoryTable(tracker)
 	fmt.Println(engineSummary(eng))
 	return nil

@@ -7,6 +7,7 @@ import (
 	"slices"
 
 	"dyndens/internal/graph"
+	"dyndens/internal/vset"
 )
 
 // DecayMode selects how the Aggregator realises per-epoch fading.
@@ -199,7 +200,7 @@ type retiredPair struct {
 type Aggregator struct {
 	cfg     AggregatorConfig
 	docs    DocumentSource
-	weights map[pairKey]float64
+	weights *pairTable
 
 	started  bool
 	epoch    int64 // current fading epoch (time / EpochLength)
@@ -222,6 +223,7 @@ type Aggregator struct {
 	retire     []retireEntry // max-heap on expLambda: largest expiry scale fires first
 	retiredBuf []retiredPair // reusable scratch for confirmed retirements
 	sortedKeys []pairKey     // exact mode: tracked pairs, kept sorted incrementally
+	pairBuf    []pairKey     // reusable per-document pair-expansion scratch
 
 	stats    AggregatorStats
 	decayBuf []pairKey // reusable sorted-key scratch for renormalization
@@ -234,7 +236,7 @@ func NewAggregator(docs DocumentSource, cfg AggregatorConfig) (*Aggregator, erro
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	return &Aggregator{cfg: cfg, docs: docs, weights: make(map[pairKey]float64), lambda: 1}, nil
+	return &Aggregator{cfg: cfg, docs: docs, weights: newPairTable(), lambda: 1}, nil
 }
 
 // MustAggregator is NewAggregator that panics on error; for tests and
@@ -253,7 +255,7 @@ func (g *Aggregator) Config() AggregatorConfig { return g.cfg }
 // Stats returns a snapshot of the work counters.
 func (g *Aggregator) Stats() AggregatorStats {
 	s := g.stats
-	s.TrackedPairs = len(g.weights)
+	s.TrackedPairs = g.weights.len()
 	return s
 }
 
@@ -263,7 +265,8 @@ func (g *Aggregator) Stats() AggregatorStats {
 // by Scale for the real faded value). After a full drain through an engine
 // this equals the engine graph's edge weight up to float rounding.
 func (g *Aggregator) Weight(a, b graph.Vertex) float64 {
-	return g.weights[makePairKey(a, b)]
+	w, _ := g.weights.get(makePairKey(a, b))
+	return w
 }
 
 // Scale returns the cumulative decay scale λ: stored weights are w' = w/λ.
@@ -331,8 +334,35 @@ func (g *Aggregator) ingest() (err error) {
 	if err != nil {
 		return err // io.EOF ends the update stream with the document stream
 	}
-	if g.started && doc.Time < g.lastTime {
-		return fmt.Errorf("stream: document time went backwards: %d after %d", doc.Time, g.lastTime)
+	g.pairBuf = appendDocPairs(g.pairBuf[:0], doc.Entities)
+	return g.ingestExpanded(doc.Time, g.pairBuf)
+}
+
+// appendDocPairs appends a document's co-occurrence pair keys to buf in
+// emission order. Entity sets are sorted and strictly increasing, so the
+// nested i<j enumeration yields keys already in sorted order with a < b —
+// no swap, no sort. This is the O(m²) half of ingestion that the pipelined
+// front-end runs on expansion workers; it is a pure function of the entity
+// set, which is what makes it safe to run out of document order.
+func appendDocPairs(buf []pairKey, ents vset.Set) []pairKey {
+	for i := 0; i < len(ents); i++ {
+		for j := i + 1; j < len(ents); j++ {
+			buf = append(buf, pairKey(uint64(uint32(ents[i]))<<32|uint64(uint32(ents[j]))))
+		}
+	}
+	return buf
+}
+
+// ingestExpanded is the sequential core of ingest: it queues the epoch tick
+// (if docTime crossed a boundary) and the document's co-occurrence updates,
+// given the document's pre-expanded pair keys. Every weight-table mutation,
+// retirement-heap re-key, and λ tick happens here, in document order — the
+// pipelined front-end's sequencer calls this directly, so parallel expansion
+// produces a batch stream identical to the serial one by construction rather
+// than by re-implementation. pairs is borrowed for the duration of the call.
+func (g *Aggregator) ingestExpanded(docTime int64, pairs []pairKey) error {
+	if g.started && docTime < g.lastTime {
+		return fmt.Errorf("stream: document time went backwards: %d after %d", docTime, g.lastTime)
 	}
 	g.pending = g.pending[:0]
 	g.pos = 0
@@ -340,7 +370,7 @@ func (g *Aggregator) ingest() (err error) {
 	g.pendingThreshold = nil
 	g.stats.Docs++
 
-	epoch := doc.Time / g.cfg.EpochLength
+	epoch := docTime / g.cfg.EpochLength
 	if !g.started {
 		g.started = true
 		g.epoch = epoch
@@ -353,23 +383,17 @@ func (g *Aggregator) ingest() (err error) {
 		g.epoch = epoch
 	}
 	g.decayEnd = len(g.pending)
-	g.lastTime = doc.Time
+	g.lastTime = docTime
 
-	ents := doc.Entities
 	docWeight := g.cfg.DocWeight / g.lambda // λ = 1 in exact mode
-	for i := 0; i < len(ents); i++ {
-		for j := i + 1; j < len(ents); j++ {
-			a, b := ents[i], ents[j]
-			k := makePairKey(a, b)
-			w, tracked := g.weights[k]
-			w += docWeight
-			g.weights[k] = w
-			if !tracked {
-				g.trackPair(k, w)
-			}
-			g.pending = append(g.pending, Update{A: a, B: b, Delta: docWeight})
-			g.stats.PairUpdates++
+	for _, k := range pairs {
+		w, tracked := g.weights.add(k, docWeight)
+		if !tracked {
+			g.trackPair(k, w)
 		}
+		a, b := k.vertices()
+		g.pending = append(g.pending, Update{A: a, B: b, Delta: docWeight})
+		g.stats.PairUpdates++
 	}
 	return nil
 }
@@ -416,16 +440,16 @@ func (g *Aggregator) applyDecay(elapsed int64) {
 	g.stats.EpochPairTouches += len(keys)
 	out := keys[:0] // compact survivors in place (read index ≥ write index)
 	for _, k := range keys {
-		w := g.weights[k]
+		w, _ := g.weights.get(k)
 		faded := w * factor
 		var delta float64
 		if faded < g.cfg.PruneBelow {
 			delta = -w
-			delete(g.weights, k)
+			g.weights.del(k)
 			g.stats.Retired++
 		} else {
 			delta = faded - w
-			g.weights[k] = faded
+			g.weights.put(k, faded)
 			out = append(out, k)
 		}
 		if delta == 0 {
@@ -476,12 +500,12 @@ func (g *Aggregator) retireExpired() {
 	for len(g.retire) > 0 && g.retire[0].expLambda > g.lambda {
 		e := g.heapPop()
 		g.stats.EpochPairTouches++
-		w, tracked := g.weights[e.key]
+		w, tracked := g.weights.get(e.key)
 		if !tracked {
 			continue // defensive: the single-live-entry invariant makes this unreachable
 		}
 		if w*g.lambda < g.cfg.PruneBelow {
-			delete(g.weights, e.key)
+			g.weights.del(e.key)
 			retired = append(retired, retiredPair{key: e.key, w: w})
 			g.stats.Retired++
 			continue
@@ -515,17 +539,14 @@ func (g *Aggregator) retireExpired() {
 // ~⌈150 / -log10(Decay)⌉ epochs, so the O(E log E) cost amortizes to a
 // vanishing per-epoch share.
 func (g *Aggregator) renormalize() {
-	keys := g.decayBuf[:0]
-	for k := range g.weights {
-		keys = append(keys, k)
-	}
+	keys := g.weights.appendKeys(g.decayBuf[:0])
 	slices.Sort(keys)
 	g.decayBuf = keys
 	g.stats.EpochPairTouches += len(keys)
 	for _, k := range keys {
-		w := g.weights[k]
+		w, _ := g.weights.get(k)
 		rescaled := w * g.lambda
-		g.weights[k] = rescaled
+		g.weights.put(k, rescaled)
 		if delta := rescaled - w; delta != 0 {
 			a, b := k.vertices()
 			g.pending = append(g.pending, Update{A: a, B: b, Delta: delta})
@@ -536,7 +557,8 @@ func (g *Aggregator) renormalize() {
 	g.retire = g.retire[:0]
 	if g.cfg.PruneBelow > 0 {
 		for _, k := range keys {
-			g.heapPush(retireEntry{key: k, expLambda: g.expiryLambda(g.weights[k])})
+			w, _ := g.weights.get(k)
+			g.heapPush(retireEntry{key: k, expLambda: g.expiryLambda(w)})
 		}
 	}
 	g.stats.Renorms++

@@ -5,9 +5,9 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"os"
-	"strconv"
-	"strings"
+	"slices"
 
 	"dyndens/internal/vset"
 )
@@ -30,7 +30,9 @@ type Document struct {
 
 // DocumentSource produces a stream of documents. Like UpdateSource it is
 // pull-based and single-consumer; Next returns io.EOF when the stream is
-// exhausted.
+// exhausted. A source may reuse the returned Document's Entities backing
+// array: the set is only guaranteed valid until the next Next call, so a
+// consumer that retains documents must Clone the set (DrainDocs does).
 type DocumentSource interface {
 	Next() (Document, error)
 }
@@ -61,7 +63,8 @@ func (s *SliceDocSource) Next() (Document, error) {
 func (s *SliceDocSource) Rewind() { s.pos = 0 }
 
 // DrainDocs reads every remaining document from src into a slice; errors
-// other than io.EOF are returned with the documents read so far.
+// other than io.EOF are returned with the documents read so far. Entity sets
+// are cloned, so the result stays valid however the source reuses buffers.
 func DrainDocs(src DocumentSource) ([]Document, error) {
 	var out []Document
 	for {
@@ -72,6 +75,7 @@ func DrainDocs(src DocumentSource) ([]Document, error) {
 			}
 			return out, err
 		}
+		d.Entities = d.Entities.Clone()
 		out = append(out, d)
 	}
 }
@@ -83,7 +87,8 @@ func DrainDocs(src DocumentSource) ([]Document, error) {
 // like FileSource. This is the recorded-document format written by
 // `dyndens stories gen-docs`.
 type DocFileSource struct {
-	ls *lineScanner
+	ls   *lineScanner
+	ents []vset.Vertex // reusable mention scratch; returned Entities alias it
 }
 
 // NewDocReaderSource wraps an io.Reader in a DocFileSource. name is used in
@@ -103,18 +108,40 @@ func OpenDocFile(path string) (*DocFileSource, error) {
 	return s, nil
 }
 
-// Next implements DocumentSource.
+// rawDocLiner is an optional DocumentSource capability: line-oriented sources
+// expose their raw unparsed document lines so the pipelined front-end's
+// expansion workers can parse off the reader goroutine. The returned slice is
+// valid only until the next call; line is the 1-based line number for error
+// messages, prefixed with sourceName.
+type rawDocLiner interface {
+	rawDocLine() (text []byte, line int, err error)
+	sourceName() string
+}
+
+// Next implements DocumentSource. The returned Document's entity set reuses
+// a scratch buffer owned by the source — it is valid until the next Next call
+// (the DocumentSource contract), which makes steady-state document reads
+// allocation-free: no per-line string, no per-document mention slice.
 func (s *DocFileSource) Next() (Document, error) {
-	text, line, err := s.ls.nextLine()
+	text, line, err := s.ls.nextLineBytes()
 	if err != nil {
 		return Document{}, err
 	}
-	d, err := ParseDocument(text)
+	ts, ents, err := parseDocumentInto(text, s.ents[:0])
 	if err != nil {
 		return Document{}, fmt.Errorf("%s:%d: %w", s.ls.name, line, err)
 	}
-	return d, nil
+	s.ents = ents
+	return Document{Time: ts, Entities: ents}, nil
 }
+
+// rawDocLine exposes the source's next raw document line (trimmed, valid
+// until the next call) so the pipelined front-end can move parsing onto
+// expansion workers; see rawDocLiner.
+func (s *DocFileSource) rawDocLine() ([]byte, int, error) { return s.ls.nextLineBytes() }
+
+// sourceName implements rawDocLiner.
+func (s *DocFileSource) sourceName() string { return s.ls.name }
 
 // Close releases the underlying file and gzip reader, if any.
 func (s *DocFileSource) Close() error { return s.ls.close() }
@@ -122,28 +149,94 @@ func (s *DocFileSource) Close() error { return s.ls.close() }
 // ParseDocument parses one `time e1 e2 ... ek` line. The timestamp must be a
 // non-negative integer (the fading schedule needs a well-founded epoch zero),
 // each entity must be a valid vertex in [0, MaxInt32), and duplicate mentions
-// collapse into the set.
+// collapse into the set. The returned set is freshly allocated; the zero-alloc
+// form used by the streaming sources is parseDocumentInto.
 func ParseDocument(text string) (Document, error) {
-	fields := strings.Fields(text)
-	if len(fields) < 2 {
-		return Document{}, fmt.Errorf("stream: want `time e1 [e2 ...]`, got %d fields in %q", len(fields), text)
-	}
-	ts, err := strconv.ParseInt(fields[0], 10, 64)
+	ts, ents, err := parseDocumentInto([]byte(text), nil)
 	if err != nil {
-		return Document{}, fmt.Errorf("stream: bad timestamp %q: %w", fields[0], err)
+		return Document{}, err
 	}
-	if ts < 0 {
-		return Document{}, fmt.Errorf("stream: negative timestamp %q", fields[0])
-	}
-	entities := make([]vset.Vertex, 0, len(fields)-1)
-	for _, f := range fields[1:] {
-		v, err := parseVertex(f)
-		if err != nil {
-			return Document{}, err
+	return Document{Time: ts, Entities: ents}, nil
+}
+
+// parseDocumentInto parses one `time e1 e2 ... ek` line from raw bytes into
+// the ents scratch buffer, returning the timestamp and the sorted, deduplicated
+// entity set (which aliases ents' backing array unless it grew). It performs
+// no allocations in steady state: fields are sliced in place and the numeric
+// parsers are manual — strconv would escape a string copy per field.
+func parseDocumentInto(text []byte, ents []vset.Vertex) (int64, vset.Set, error) {
+	var ts int64
+	nfields := 0
+	for i := 0; i < len(text); {
+		for i < len(text) && asciiSpace(text[i]) {
+			i++
 		}
-		entities = append(entities, v)
+		if i >= len(text) {
+			break
+		}
+		j := i
+		for j < len(text) && !asciiSpace(text[j]) {
+			j++
+		}
+		field := text[i:j]
+		i = j
+		if nfields == 0 {
+			n, ok := parseUintBytes(field)
+			if !ok {
+				if len(field) > 1 && field[0] == '-' {
+					if _, neg := parseUintBytes(field[1:]); neg {
+						return 0, nil, fmt.Errorf("stream: negative timestamp %q", field)
+					}
+				}
+				return 0, nil, fmt.Errorf("stream: bad timestamp %q", field)
+			}
+			ts = n
+		} else {
+			n, ok := parseUintBytes(field)
+			if !ok || n >= math.MaxInt32 {
+				return 0, nil, fmt.Errorf("stream: bad vertex %q (want integer in [0, %d))", field, math.MaxInt32)
+			}
+			ents = append(ents, vset.Vertex(n))
+		}
+		nfields++
 	}
-	return Document{Time: ts, Entities: vset.New(entities...)}, nil
+	if nfields < 2 {
+		return 0, nil, fmt.Errorf("stream: want `time e1 [e2 ...]`, got %d fields in %q", nfields, text)
+	}
+	slices.Sort(ents)
+	w := 1
+	for i := 1; i < len(ents); i++ {
+		if ents[i] != ents[w-1] {
+			ents[w] = ents[i]
+			w++
+		}
+	}
+	return ts, vset.Set(ents[:w]), nil
+}
+
+// asciiSpace matches the whitespace that separates fields on a scanned line
+// (the scanner has already stripped the newline and outer space).
+func asciiSpace(c byte) bool {
+	return c == ' ' || c == '\t' || c == '\v' || c == '\f' || c == '\r'
+}
+
+// parseUintBytes parses an unsigned decimal integer from b without allocating,
+// reporting false on empty input, non-digits, or int64 overflow.
+func parseUintBytes(b []byte) (int64, bool) {
+	if len(b) == 0 {
+		return 0, false
+	}
+	var n int64
+	for _, c := range b {
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		if n > (math.MaxInt64-9)/10 {
+			return 0, false
+		}
+		n = n*10 + int64(c-'0')
+	}
+	return n, true
 }
 
 // WriteDocuments writes documents to w in the format DocFileSource reads,

@@ -2,6 +2,7 @@ package stream
 
 import (
 	"bufio"
+	"bytes"
 	"compress/gzip"
 	"errors"
 	"fmt"
@@ -56,27 +57,40 @@ func (ls *lineScanner) init() error {
 	return nil
 }
 
-// nextLine returns the next non-blank, non-comment line (trimmed) and its
-// 1-based line number. It returns io.EOF at end of input; read errors —
-// including corrupt gzip payloads — are wrapped with the source name.
-func (ls *lineScanner) nextLine() (string, int, error) {
+// nextLineBytes returns the next non-blank, non-comment line (trimmed) and
+// its 1-based line number. The returned slice aliases the scanner's buffer
+// and is only valid until the next call — it is the allocation-free core the
+// document hot path parses from directly. It returns io.EOF at end of input;
+// read errors — including corrupt gzip payloads — are wrapped with the
+// source name.
+func (ls *lineScanner) nextLineBytes() ([]byte, int, error) {
 	if ls.sc == nil {
 		if err := ls.init(); err != nil {
-			return "", 0, err
+			return nil, 0, err
 		}
 	}
 	for ls.sc.Scan() {
 		ls.line++
-		text := strings.TrimSpace(ls.sc.Text())
-		if text == "" || strings.HasPrefix(text, "#") {
+		text := bytes.TrimSpace(ls.sc.Bytes())
+		if len(text) == 0 || text[0] == '#' {
 			continue
 		}
 		return text, ls.line, nil
 	}
 	if err := ls.sc.Err(); err != nil {
-		return "", 0, fmt.Errorf("%s: %w", ls.name, err)
+		return nil, 0, fmt.Errorf("%s: %w", ls.name, err)
 	}
-	return "", 0, io.EOF
+	return nil, 0, io.EOF
+}
+
+// nextLine is nextLineBytes with an owned string result, for the update-file
+// path where per-line parsing already allocates.
+func (ls *lineScanner) nextLine() (string, int, error) {
+	b, line, err := ls.nextLineBytes()
+	if err != nil {
+		return "", 0, err
+	}
+	return string(b), line, nil
 }
 
 // close releases the gzip reader (verifying its checksum trailer was intact

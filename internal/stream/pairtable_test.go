@@ -1,0 +1,119 @@
+package stream
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestPairTableMatchesMap drives randomized add/put/del/get traffic through
+// the open-addressing table and a reference map in lockstep: contents must
+// agree after every operation batch, across growth and tombstone compaction.
+func TestPairTableMatchesMap(t *testing.T) {
+	for seed := int64(1); seed <= 3; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		tab := newPairTable()
+		ref := map[pairKey]float64{}
+		keyAt := func() pairKey {
+			a := int32(rng.Intn(700))
+			b := a + 1 + int32(rng.Intn(700))
+			return makePairKey(a, b)
+		}
+		for op := 0; op < 60000; op++ {
+			k := keyAt()
+			switch r := rng.Float64(); {
+			case r < 0.55:
+				delta := rng.NormFloat64()
+				got, existed := tab.add(k, delta)
+				_, wantExisted := ref[k]
+				ref[k] += delta
+				if existed != wantExisted || got != ref[k] {
+					t.Fatalf("seed %d op %d: add(%x) = (%v, %v), want (%v, %v)", seed, op, k, got, existed, ref[k], wantExisted)
+				}
+			case r < 0.70:
+				v := rng.NormFloat64()
+				tab.put(k, v)
+				ref[k] = v
+			case r < 0.90:
+				got := tab.del(k)
+				_, want := ref[k]
+				delete(ref, k)
+				if got != want {
+					t.Fatalf("seed %d op %d: del(%x) = %v, want %v", seed, op, k, got, want)
+				}
+			default:
+				got, ok := tab.get(k)
+				want, wantOk := ref[k]
+				if ok != wantOk || got != want {
+					t.Fatalf("seed %d op %d: get(%x) = (%v, %v), want (%v, %v)", seed, op, k, got, ok, want, wantOk)
+				}
+			}
+			if tab.len() != len(ref) {
+				t.Fatalf("seed %d op %d: len = %d, want %d", seed, op, tab.len(), len(ref))
+			}
+		}
+		// Full-content check via appendKeys: every live key, each exactly once,
+		// values matching.
+		keys := tab.appendKeys(nil)
+		if len(keys) != len(ref) {
+			t.Fatalf("seed %d: appendKeys yielded %d keys, want %d", seed, len(keys), len(ref))
+		}
+		seen := map[pairKey]bool{}
+		for _, k := range keys {
+			if seen[k] {
+				t.Fatalf("seed %d: appendKeys repeated key %x", seed, k)
+			}
+			seen[k] = true
+			got, ok := tab.get(k)
+			if want, wantOk := ref[k], true; !ok || got != want || !wantOk {
+				t.Fatalf("seed %d: key %x = (%v, %v), want (%v, true)", seed, k, got, ok, want)
+			}
+		}
+	}
+}
+
+// TestPairTableTombstoneCompaction pins that heavy delete/re-insert churn at
+// a fixed live size neither loses entries nor lets the table grow without
+// bound (tombstone compaction keeps capacity proportional to the live count).
+func TestPairTableTombstoneCompaction(t *testing.T) {
+	tab := newPairTable()
+	const live = 300
+	for i := int32(0); i < live; i++ {
+		tab.put(makePairKey(i, i+1000), float64(i))
+	}
+	for round := 0; round < 200; round++ {
+		for i := int32(0); i < live; i++ {
+			if !tab.del(makePairKey(i, i+1000)) {
+				t.Fatalf("round %d: key %d missing before delete", round, i)
+			}
+			tab.put(makePairKey(i, i+1000), float64(round))
+		}
+	}
+	if tab.len() != live {
+		t.Fatalf("len = %d, want %d", tab.len(), live)
+	}
+	if cap := len(tab.keys); cap > 16*live {
+		t.Fatalf("capacity %d grew unboundedly for %d live entries", cap, live)
+	}
+}
+
+// TestPairTableSteadyStateZeroAlloc is the hot-path pin: once warm, the
+// probe/insert/delete cycle allocates nothing (the whole point of replacing
+// the runtime map).
+func TestPairTableSteadyStateZeroAlloc(t *testing.T) {
+	tab := newPairTable()
+	for i := int32(0); i < 100; i++ {
+		tab.put(makePairKey(i, i+500), 1)
+	}
+	i := int32(0)
+	if allocs := testing.AllocsPerRun(1000, func() {
+		k := makePairKey(i%100, i%100+500)
+		tab.add(k, 0.5)
+		tab.get(k)
+		extra := makePairKey(200+i%50, 400+i%50)
+		tab.add(extra, 1)
+		tab.del(extra)
+		i++
+	}); allocs != 0 {
+		t.Fatalf("steady-state table ops allocated %.1f allocs/op, want 0", allocs)
+	}
+}

@@ -1,0 +1,64 @@
+package stream
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestDocFileSourceZeroAlloc pins the per-document parse cost of the
+// streaming document reader: after warmup (scanner buffer, mention scratch),
+// Next performs zero allocations per document — no per-line string, no
+// per-document mention slice, no set copy. This is the front-end analogue of
+// the engine's zero-alloc Process pin.
+func TestDocFileSourceZeroAlloc(t *testing.T) {
+	var b strings.Builder
+	b.WriteString("# header comment\n")
+	for i := 0; i < 1500; i++ {
+		b.WriteString("10 3 1 4 1 5 9 2 6\n") // duplicates exercise the dedup path
+	}
+	src := NewDocReaderSource("alloc", strings.NewReader(b.String()))
+	for i := 0; i < 50; i++ { // warm the scanner and scratch buffers
+		if _, err := src.Next(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if allocs := testing.AllocsPerRun(1000, func() {
+		d, err := src.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d.Entities.Len() != 7 {
+			t.Fatalf("parsed %d entities, want 7", d.Entities.Len())
+		}
+	}); allocs != 0 {
+		t.Fatalf("DocFileSource.Next allocated %.2f allocs/doc, want 0", allocs)
+	}
+}
+
+// TestParseDocumentIntoMatchesParseDocument pins that the zero-alloc parser
+// and the public allocating one accept and reject the same lines with the
+// same results.
+func TestParseDocumentIntoMatchesParseDocument(t *testing.T) {
+	lines := []string{
+		"0 1 2",
+		"10 3 1 4 1 5",
+		"5 7",
+		"  12\t8   9  ",
+		"9223372036854775807 1 2",
+		"", "7", "x 1 2", "-3 1 2", "1 2 -4", "1 2147483647 3",
+		"1 2 3.5", "99999999999999999999 1 2", "1 99999999999999999999",
+	}
+	for _, line := range lines {
+		want, wantErr := ParseDocument(line)
+		ts, ents, err := parseDocumentInto([]byte(line), nil)
+		if (err != nil) != (wantErr != nil) {
+			t.Fatalf("parseDocumentInto(%q) err = %v, ParseDocument err = %v", line, err, wantErr)
+		}
+		if err != nil {
+			continue
+		}
+		if ts != want.Time || !ents.Equal(want.Entities) {
+			t.Fatalf("parseDocumentInto(%q) = (%d, %v), want (%d, %v)", line, ts, ents, want.Time, want.Entities)
+		}
+	}
+}
