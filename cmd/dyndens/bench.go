@@ -3,16 +3,20 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"dyndens/internal/core"
+	"dyndens/internal/persist"
 	"dyndens/internal/serve"
 	"dyndens/internal/shard"
 	"dyndens/internal/story"
@@ -152,6 +156,24 @@ type benchResult struct {
 	// meaningless there because the rescaled segment carries almost no
 	// updates by design. The CI gate reads it as a floor.
 	DecayModeCompare *decayModeCompareResult `json:"decay_mode_compare,omitempty"`
+
+	// WALOverhead is present for -wal-compare runs: the identical document
+	// workload replayed with durability off and on (document WAL + periodic
+	// background snapshots into a throwaway directory; outputs must match).
+	// Ratio is throughput retained — off wall time / on wall time — and the
+	// CI gate (tools/benchgate -min-wal-ratio) reads it as a floor.
+	WALOverhead *walOverheadResult `json:"wal_overhead,omitempty"`
+}
+
+// walOverheadResult is the -wal-compare JSON block.
+type walOverheadResult struct {
+	OffWallNs int64   `json:"off_wall_ns"`
+	OnWallNs  int64   `json:"on_wall_ns"`
+	Ratio     float64 `json:"ratio"`
+	Fsync     bool    `json:"fsync,omitempty"`
+	Frames    uint64  `json:"frames"`
+	Bytes     uint64  `json:"bytes"`
+	Snapshots uint64  `json:"snapshots"`
 }
 
 // serveBenchResult is the JSON serve block: what N concurrent readers saw
@@ -502,6 +524,9 @@ func cmdBench(args []string) error {
 	ingestCompare := fs.Bool("ingest-compare", false, "replay the -docs workload through the serial AND the pipelined ingestion front-end (fresh engine each; outputs must match) and report the wall-clock ratio as the JSON ingest_pipeline block (single-threaded -docs only; workers default to GOMAXPROCS unless -agg-workers is set)")
 	serveReaders := fs.Int("serve-readers", 0, "run N concurrent closed-loop snapshot readers (top-k + story fetches) against the live story view during the measured replay and report read QPS and latency percentiles as the JSON serve block; the readers share the process, so writer throughput and alloc counters include their cost (0 = off)")
 	serveK := fs.Int("serve-k", 10, "top-k size each serve reader queries (with -serve-readers)")
+	walCompare := fs.Bool("wal-compare", false, "replay the -docs workload twice — durability off and on (document WAL + periodic snapshots into a throwaway directory; outputs must match) — and report the overhead as the JSON wal_overhead block (single-threaded rescale -docs only)")
+	walEvery := fs.Uint64("wal-snapshot-every", 5000, "with -wal-compare: background snapshot cadence in documents (0 = WAL only)")
+	walFsync := fs.Bool("wal-fsync", false, "with -wal-compare: fsync every WAL frame and snapshot (measures power-loss-durable overhead)")
 	newEngineCfg := engineFlags(fs, 3, 5)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -554,6 +579,24 @@ func cmdBench(args []string) error {
 	if *serveReaders > 0 && *serveK <= 0 {
 		return fmt.Errorf("bench: -serve-k must be ≥ 1, got %d", *serveK)
 	}
+	if *walCompare {
+		if !*docsMode {
+			return fmt.Errorf("bench: -wal-compare requires -docs (the WAL unit of the document pipeline is the document)")
+		}
+		if *shards > 0 || *serveReaders > 0 || *batchMode || *decayCompare || *ingestCompare || aggWorkers > 0 {
+			return fmt.Errorf("bench: -wal-compare is incompatible with -shards, -batch, -decay-compare, -ingest-compare, -agg-workers, and -serve-readers")
+		}
+		if benchDecayMode != stream.DecayRescale {
+			// The persisted driver is the batch driver; an exact-mode reference
+			// pass would run per-update and the tick counts would not line up.
+			return fmt.Errorf("bench: -wal-compare measures the rescale pipeline; drop -decay-mode %s", benchDecayMode)
+		}
+	} else if *walEvery != 5000 || *walFsync {
+		return fmt.Errorf("bench: -wal-snapshot-every/-wal-fsync require -wal-compare")
+	}
+
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
 
 	// The -docs pipeline replays aggregated co-occurrence updates into the
 	// engine with the story tracker attached, so the measured cost is the
@@ -683,7 +726,7 @@ func cmdBench(args []string) error {
 		if err != nil {
 			return err
 		}
-		return runBenchScale(ks, synthCfg, engCfg, *readBatch, *batchMode, *jsonOut)
+		return runBenchScale(ctx, ks, synthCfg, engCfg, *readBatch, *batchMode, *jsonOut)
 	}
 
 	header := func(cfg core.Config, extra string) {
@@ -741,6 +784,14 @@ func cmdBench(args []string) error {
 		}
 		sink := &core.CountingSink{}
 		r := stream.NewShardReplay(src, se, sink)
+		// Graceful stop: a signal drains to the next batch boundary and the
+		// partial stats are printed; a partial pass never writes JSON.
+		r.SetBoundaryHook(func() error {
+			if ctx.Err() != nil {
+				return stream.ErrStopped
+			}
+			return nil
+		})
 		var ld *serve.Load
 		if bld != nil {
 			ld = serve.StartLoad(bld.View(), serve.LoadConfig{Readers: *serveReaders, TopK: *serveK, Seed: 1})
@@ -756,6 +807,14 @@ func cmdBench(args []string) error {
 			st, err = r.RunBatches(*readBatch, false)
 		default:
 			st, err = r.Run(*readBatch)
+		}
+		if errors.Is(err, stream.ErrStopped) {
+			if ld != nil {
+				ld.Stop()
+			}
+			fmt.Println(st)
+			fmt.Println("bench: interrupted — partial pass, summary and JSON omitted")
+			return nil
 		}
 		if err != nil {
 			return err
@@ -817,16 +876,17 @@ func cmdBench(args []string) error {
 	// processing at batch granularity, which is what makes the segment
 	// comparison apples-to-apples).
 	type singleRun struct {
-		eng     *core.Engine
-		sink    *core.CountingSink
-		agg     docFrontEnd
-		tracker *story.Tracker
-		bld     *serve.Builder
-		load    serve.LoadStats
-		st      stream.ReplayStats
-		wall    time.Duration // whole-replay wall clock, source + front-end + engine
-		allocs  float64
-		bytes   float64
+		eng         *core.Engine
+		sink        *core.CountingSink
+		agg         docFrontEnd
+		tracker     *story.Tracker
+		bld         *serve.Builder
+		load        serve.LoadStats
+		st          stream.ReplayStats
+		wall        time.Duration // whole-replay wall clock, source + front-end + engine
+		allocs      float64
+		bytes       float64
+		interrupted bool // signal mid-pass: st is partial, nothing downstream of it is valid
 	}
 	runOnce := func(coalesce bool, mode stream.DecayMode, workers int) (*singleRun, error) {
 		grace := uint64(graceUpdates)
@@ -862,6 +922,12 @@ func cmdBench(args []string) error {
 			engSink = core.MultiSink{run.sink, run.tracker}
 		}
 		r := stream.NewReplay(src, eng, engSink)
+		r.SetBoundaryHook(func() error {
+			if ctx.Err() != nil {
+				return stream.ErrStopped
+			}
+			return nil
+		})
 		var ld *serve.Load
 		if run.bld != nil {
 			ld = serve.StartLoad(run.bld.View(), serve.LoadConfig{Readers: *serveReaders, TopK: *serveK, Seed: 1})
@@ -885,6 +951,13 @@ func cmdBench(args []string) error {
 			}
 		})
 		run.wall = time.Since(wallStart)
+		if errors.Is(err, stream.ErrStopped) {
+			run.interrupted = true
+			if ld != nil {
+				ld.Stop()
+			}
+			return run, nil
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -897,12 +970,23 @@ func cmdBench(args []string) error {
 		}
 		return run, nil
 	}
+	// benchInterrupted reports a signal-drained partial pass: its stats are
+	// printed, comparisons and JSON are skipped (a partial snapshot would
+	// poison the committed perf trajectory).
+	benchInterrupted := func(st fmt.Stringer) error {
+		fmt.Println(st)
+		fmt.Println("bench: interrupted — partial pass, summary and JSON omitted")
+		return nil
+	}
 
 	var seq *singleRun
 	if *batchMode {
 		// Sequential baseline pass for the comparison.
 		if seq, err = runOnce(false, benchDecayMode, aggWorkers); err != nil {
 			return err
+		}
+		if seq.interrupted {
+			return benchInterrupted(seq.st)
 		}
 	}
 	// With -decay-compare the exact-sweep reference pass runs first (both
@@ -913,6 +997,9 @@ func cmdBench(args []string) error {
 		if exactRef, err = runOnce(true, stream.DecayExact, aggWorkers); err != nil {
 			return err
 		}
+		if exactRef.interrupted {
+			return benchInterrupted(exactRef.st)
+		}
 	}
 	// With -ingest-compare the serial-front-end reference pass runs first over
 	// the identical workload; the measured pass below runs the pipelined
@@ -922,10 +1009,108 @@ func cmdBench(args []string) error {
 		if serialRef, err = runOnce(true, benchDecayMode, 0); err != nil {
 			return err
 		}
+		if serialRef.interrupted {
+			return benchInterrupted(serialRef.st)
+		}
 	}
 	measured, err := runOnce(true, benchDecayMode, aggWorkers)
 	if err != nil {
 		return err
+	}
+	if measured.interrupted {
+		return benchInterrupted(measured.st)
+	}
+
+	// With -wal-compare the measured pass above is the durability-off
+	// reference; the persisted pass replays the identical workload with the
+	// document WAL and periodic background snapshots into a throwaway
+	// directory. Determinism makes the comparison honest — the two passes
+	// must produce identical story/event outcomes or the ratio measures
+	// divergence, not durability cost.
+	var walRun *singleRun
+	var walStoreStats persist.StoreStats
+	if *walCompare {
+		dir, err := os.MkdirTemp("", "dyndens-bench-wal-*")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(dir)
+		pst, err := persist.Open(persist.Config{
+			Dir:           dir,
+			Fingerprint:   "bench:wal-compare",
+			SnapshotEvery: *walEvery,
+			Fsync:         *walFsync,
+		})
+		if err != nil {
+			return err
+		}
+		gen, err := stream.NewDocSynthetic(stream.DocSynthConfig{
+			BackgroundEntities: synthCfg.Vertices,
+			Stories:            *docStories,
+			StorySize:          *docStorySize,
+			Docs:               synthCfg.Updates,
+			Seed:               synthCfg.Seed,
+			BackgroundSkew:     synthCfg.Skew,
+		})
+		if err != nil {
+			return err
+		}
+		agg, err := stream.NewAggregator(pst.Docs(gen), benchAggCfg(benchDecayMode))
+		if err != nil {
+			return err
+		}
+		tracker, err := story.NewTracker(story.Config{MinCardinality: 3, Grace: graceUpdates})
+		if err != nil {
+			return err
+		}
+		eng, err := core.New(engCfg)
+		if err != nil {
+			return err
+		}
+		walRun = &singleRun{eng: eng, sink: &core.CountingSink{}, agg: agg, tracker: tracker}
+		r := stream.NewReplay(agg, eng, core.MultiSink{walRun.sink, tracker})
+		capture := func() (*persist.PipelineState, error) {
+			ps, cerr := persist.CaptureSingle(eng, agg, tracker)
+			if cerr != nil {
+				return nil, cerr
+			}
+			ps.Ticks = uint64(r.Stats().Ticks)
+			return ps, nil
+		}
+		r.SetBoundaryHook(func() error {
+			if ctx.Err() != nil {
+				return stream.ErrStopped
+			}
+			if agg.Drained() {
+				return pst.MaybeSnapshot(capture)
+			}
+			return nil
+		})
+		wallStart := time.Now()
+		walRun.st, err = r.RunBatches(*readBatch, false)
+		walRun.wall = time.Since(wallStart)
+		if errors.Is(err, stream.ErrStopped) {
+			pst.Close()
+			return benchInterrupted(walRun.st)
+		}
+		if err != nil {
+			pst.Close()
+			return err
+		}
+		if err := pst.Checkpoint(capture); err != nil {
+			return err
+		}
+		tracker.Close(uint64(walRun.st.Ticks))
+		walStoreStats = pst.Stats()
+		if err := pst.Close(); err != nil {
+			return err
+		}
+		if walRun.st.Updates != measured.st.Updates || walRun.st.Ticks != measured.st.Ticks ||
+			walRun.sink.Became != measured.sink.Became || walRun.sink.Ceased != measured.sink.Ceased {
+			return fmt.Errorf("bench: WAL-on pass diverged from WAL-off (updates %d vs %d, ticks %d vs %d, became %d vs %d, ceased %d vs %d)",
+				walRun.st.Updates, measured.st.Updates, walRun.st.Ticks, measured.st.Ticks,
+				walRun.sink.Became, measured.sink.Became, walRun.sink.Ceased, measured.sink.Ceased)
+		}
 	}
 	if serialRef != nil {
 		// The pipeline's determinism contract makes the comparison honest:
@@ -968,6 +1153,14 @@ func cmdBench(args []string) error {
 		fmt.Printf("decay-mode speedup: decay-segment %.2fx, overall %.2fx (rescale vs exact, elapsed time)\n",
 			elapsedSpeedup(exactRef.st.DecaySeg.Elapsed, measured.st.DecaySeg.Elapsed),
 			elapsedSpeedup(exactRef.st.Elapsed, measured.st.Elapsed))
+	}
+	if walRun != nil {
+		// Wall-clock ratio over the same logical work: the fraction of
+		// durability-off throughput the persisted pipeline retains.
+		fmt.Printf("wal overhead: on %v vs off %v (%.2fx throughput retained) frames=%d bytes=%d snapshots=%d fsync=%v\n",
+			walRun.wall.Round(time.Microsecond), measured.wall.Round(time.Microsecond),
+			elapsedSpeedup(measured.wall, walRun.wall),
+			walStoreStats.FramesLogged, walStoreStats.BytesLogged, walStoreStats.SnapshotsCut, *walFsync)
 	}
 	if seq != nil {
 		if seq.st.DecaySeg.Batches > 0 {
@@ -1019,6 +1212,17 @@ func cmdBench(args []string) error {
 		if serialRef != nil && measured.st.Ingest != nil {
 			result.IngestPipeline = newIngestPipelineResult(serialRef.wall, measured.wall, *measured.st.Ingest)
 		}
+		if walRun != nil {
+			result.WALOverhead = &walOverheadResult{
+				OffWallNs: measured.wall.Nanoseconds(),
+				OnWallNs:  walRun.wall.Nanoseconds(),
+				Ratio:     elapsedSpeedup(measured.wall, walRun.wall),
+				Fsync:     *walFsync,
+				Frames:    walStoreStats.FramesLogged,
+				Bytes:     walStoreStats.BytesLogged,
+				Snapshots: walStoreStats.SnapshotsCut,
+			}
+		}
 		if measured.bld != nil {
 			result.Serve = newServeBenchResult(measured.load, measured.bld.View())
 		}
@@ -1065,7 +1269,15 @@ func parseScaleList(s string) ([]int, error) {
 // shipping) instead of per-update delivery. The event counters of every
 // point must agree (the delivery policy is an optimization, not an
 // approximation); a mismatch fails the run.
-func runBenchScale(ks []int, synthCfg stream.SynthConfig, engCfg core.Config, readBatch int, batched bool, jsonOut string) error {
+func runBenchScale(ctx context.Context, ks []int, synthCfg stream.SynthConfig, engCfg core.Config, readBatch int, batched bool, jsonOut string) error {
+	// A signal drains the current point to its next batch boundary and abandons
+	// the curve — a partial curve never reaches the JSON output.
+	stopHook := func() error {
+		if ctx.Err() != nil {
+			return stream.ErrStopped
+		}
+		return nil
+	}
 	runPoint := func(k int, overlap shard.Overlap) (scaleEntry, core.Stats, error) {
 		e := scaleEntry{Shards: k, Batched: batched}
 		src, err := stream.NewSynthetic(synthCfg)
@@ -1079,6 +1291,7 @@ func runBenchScale(ks []int, synthCfg stream.SynthConfig, engCfg core.Config, re
 				return e, core.Stats{}, err
 			}
 			r := stream.NewReplay(src, eng, sink)
+			r.SetBoundaryHook(stopHook)
 			var st stream.ReplayStats
 			if batched {
 				st, err = r.RunBatches(readBatch, true)
@@ -1100,6 +1313,7 @@ func runBenchScale(ks []int, synthCfg stream.SynthConfig, engCfg core.Config, re
 		}
 		defer se.Close()
 		r := stream.NewShardReplay(src, se, sink)
+		r.SetBoundaryHook(stopHook)
 		var st stream.ShardReplayStats
 		if batched {
 			st, err = r.RunBatches(readBatch, true)
@@ -1141,6 +1355,10 @@ func runBenchScale(ks []int, synthCfg stream.SynthConfig, engCfg core.Config, re
 		}
 		for _, ov := range overlaps {
 			e, stats, err := runPoint(k, ov)
+			if errors.Is(err, stream.ErrStopped) {
+				fmt.Println("bench: interrupted — partial scaling curve, JSON omitted")
+				return nil
+			}
 			if err != nil {
 				return err
 			}

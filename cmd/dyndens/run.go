@@ -1,13 +1,18 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 
 	"dyndens/internal/core"
+	"dyndens/internal/persist"
 	"dyndens/internal/shard"
 	"dyndens/internal/stream"
 	"dyndens/internal/vset"
@@ -33,6 +38,7 @@ func cmdRun(args []string) error {
 	minCard := fs.Int("min-card", 0, "only report subgraphs with at least this many vertices")
 	watch := fs.String("watch", "", "comma-separated vertex watchlist; only report subgraphs containing one")
 	newEngineCfg := engineFlags(fs, 3, 5)
+	newWAL := walFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -56,6 +62,13 @@ func cmdRun(args []string) error {
 	if err != nil {
 		return fmt.Errorf("run: %w", err)
 	}
+	walOpts, err := newWAL()
+	if err != nil {
+		return fmt.Errorf("run: %w", err)
+	}
+	if walOpts.enabled() && aggWorkers > 0 {
+		return fmt.Errorf("run: -wal is incompatible with -agg-workers (the WAL logs units on the replay goroutine; a pipelined producer would race it)")
+	}
 	watchSet, err := parseWatchlist(*watch)
 	if err != nil {
 		return err
@@ -73,7 +86,7 @@ func cmdRun(args []string) error {
 		defer f.Close()
 		fileSrc = f
 	}
-	if *batchMode || aggWorkers > 0 {
+	if *batchMode || aggWorkers > 0 || walOpts.enabled() {
 		// Memory guard for coalesced replay: a marker-less stream is one
 		// whole-stream batch, so cap batches at the read size — runs longer
 		// than -read-batch split into their own ticks. SetMaxBatch treats
@@ -81,6 +94,8 @@ func cmdRun(args []string) error {
 		// it here like the sequential driver does. The pipelined front-end
 		// needs the same cap: its handoff unit is the source batch, and an
 		// unbounded batch would buffer the whole stream in one queue entry.
+		// The WAL needs it too: its frame unit is the source batch, and the
+		// cap makes the framing a deterministic function of -read-batch.
 		if *batch <= 0 {
 			return fmt.Errorf("run: -read-batch must be positive, got %d", *batch)
 		}
@@ -96,6 +111,29 @@ func cmdRun(args []string) error {
 		src = pipe
 	}
 
+	// Durability: log every source batch to the WAL and recover past state at
+	// open. The fingerprint binds the directory to everything that shapes the
+	// persisted state or the batch framing — input identity, framing knobs,
+	// shard layout, delivery policy, and the engine configuration.
+	var pst *persist.Store
+	var restored *persist.PipelineState
+	if walOpts.enabled() {
+		overlap, err := newOverlap()
+		if err != nil {
+			return err
+		}
+		fp := fmt.Sprintf("run:v1:input=%s,read-batch=%d,batch=%v,shards=%d,overlap=%s,%s",
+			*input, *batch, *batchMode, *shards, overlap, engineFingerprint(engCfg))
+		if pst, err = openWAL(walOpts, fp, *input == "-"); err != nil {
+			return err
+		}
+		restored = pst.Restored()
+		src = pst.Batches(fileSrc).(stream.UpdateSource)
+	}
+
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+
 	// Sink chain: filter → counter (+ printer unless -quiet).
 	counter := &core.CountingSink{}
 	inner := core.EventSink(counter)
@@ -107,52 +145,108 @@ func cmdRun(args []string) error {
 	}
 	filter := &core.FilterSink{Next: inner, MinCardinality: *minCard, Watch: watchSet}
 
+	// runHook is the per-batch boundary hook: stop cleanly on a signal
+	// (cutting a final checkpoint first when persisting), cut a periodic
+	// background snapshot otherwise. Edge streams have no aggregator, so
+	// every batch boundary is a consistent snapshot point.
+	runHook := func(capture func() (*persist.PipelineState, error)) func() error {
+		return func() error {
+			if ctx.Err() != nil {
+				if pst != nil {
+					if err := pst.Checkpoint(capture); err != nil {
+						return err
+					}
+				}
+				return stream.ErrStopped
+			}
+			if pst != nil {
+				return pst.MaybeSnapshot(capture)
+			}
+			return nil
+		}
+	}
+	finishWAL := func(interrupted bool, capture func() (*persist.PipelineState, error)) error {
+		if err := checkpointWAL(pst, interrupted, capture); err != nil {
+			return err
+		}
+		return closeWALStore(pst, walOpts, interrupted)
+	}
+	baseTicks := uint64(0)
+	if pst != nil {
+		baseTicks = pst.BaseTicks()
+	}
+
 	if *shards > 0 {
 		overlap, err := newOverlap()
 		if err != nil {
 			return err
 		}
-		se, err := shard.New(shard.Config{Shards: *shards, Engine: engCfg, Overlap: overlap})
+		se, err := persist.RestoreSharded(shard.Config{Shards: *shards, Engine: engCfg, Overlap: overlap}, restored)
 		if err != nil {
 			return err
 		}
 		defer se.Close()
 		r := stream.NewShardReplay(src, se, filter)
+		capture := func() (*persist.PipelineState, error) {
+			ps, err := persist.CaptureSharded(se, nil, nil)
+			if err != nil {
+				return nil, err
+			}
+			ps.Ticks = baseTicks + uint64(r.Stats().Ticks)
+			return ps, nil
+		}
+		r.SetBoundaryHook(runHook(capture))
 		var st stream.ShardReplayStats
-		if *batchMode {
-			st, err = r.RunBatches(*batch, true)
+		if *batchMode || pst != nil {
+			// The WAL frame unit is the source batch, so persisted runs go
+			// through the batch driver even when not coalescing — snapshots
+			// then land exactly on frame boundaries.
+			st, err = r.RunBatches(*batch, *batchMode)
 		} else {
 			st, err = r.Run(*batch)
 		}
-		if err != nil {
+		interrupted := errors.Is(err, stream.ErrStopped)
+		if err != nil && !interrupted {
 			return err
 		}
 		fmt.Println(st)
 		fmt.Printf("sink:   reported=%d (became=%d ceased=%d) filtered-out=%d net-output-dense=%d\n",
 			filter.Passed, counter.Became, counter.Ceased, filter.Dropped, se.OutputDenseCount())
 		fmt.Println(shardedSummary(se.Stats()))
-		return nil
+		return finishWAL(interrupted, capture)
 	}
 
-	eng, err := core.New(engCfg)
+	eng, err := persist.RestoreEngine(engCfg, restored)
 	if err != nil {
 		return err
 	}
 	r := stream.NewReplay(src, eng, filter)
+	capture := func() (*persist.PipelineState, error) {
+		ps, err := persist.CaptureSingle(eng, nil, nil)
+		if err != nil {
+			return nil, err
+		}
+		ps.Ticks = baseTicks + uint64(r.Stats().Ticks)
+		return ps, nil
+	}
+	r.SetBoundaryHook(runHook(capture))
 	var st stream.ReplayStats
-	if *batchMode {
-		st, err = r.RunBatches(*batch, true)
+	if *batchMode || pst != nil {
+		// See the sharded path: persisted runs use the batch driver so
+		// snapshots land on WAL frame boundaries.
+		st, err = r.RunBatches(*batch, *batchMode)
 	} else {
 		st, err = r.Run(*batch)
 	}
-	if err != nil {
+	interrupted := errors.Is(err, stream.ErrStopped)
+	if err != nil && !interrupted {
 		return err
 	}
 	fmt.Println(st)
 	fmt.Printf("sink:   reported=%d (became=%d ceased=%d) filtered-out=%d\n",
 		filter.Passed, counter.Became, counter.Ceased, filter.Dropped)
 	fmt.Println(engineSummary(eng))
-	return nil
+	return finishWAL(interrupted, capture)
 }
 
 func parseWatchlist(s string) (vset.Set, error) {

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"dyndens/internal/core"
+	"dyndens/internal/persist"
 	"dyndens/internal/serve"
 	"dyndens/internal/shard"
 	"dyndens/internal/story"
@@ -54,6 +55,7 @@ func cmdServe(args []string) error {
 	newAggCfg := aggregatorFlags(fs)
 	newTrkCfg := trackerFlags(fs)
 	newEngineCfg := engineFlags(fs, 6.5, 4)
+	newWAL := walFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -70,6 +72,13 @@ func cmdServe(args []string) error {
 	if err != nil {
 		return fmt.Errorf("serve: %w", err)
 	}
+	walOpts, err := newWAL()
+	if err != nil {
+		return fmt.Errorf("serve: %w", err)
+	}
+	if walOpts.enabled() && aggWorkers > 0 {
+		return fmt.Errorf("serve: -wal is incompatible with -agg-workers (the WAL logs documents on the replay goroutine; a pipelined producer would race it)")
+	}
 	engCfg, err := newEngineCfg()
 	if err != nil {
 		return err
@@ -84,6 +93,8 @@ func cmdServe(args []string) error {
 	}
 
 	var docs stream.DocumentSource
+	inputID := *input // the fingerprint's input-identity component
+	liveTail := false
 	switch {
 	case *input == "":
 		cfg, err := newSynthCfg()
@@ -95,8 +106,10 @@ func cmdServe(args []string) error {
 			return err
 		}
 		docs = gen
+		inputID = fmt.Sprintf("synth:%+v", gen.Config())
 	case *input == "-":
 		docs = stream.NewDocReaderSource("stdin", os.Stdin)
+		liveTail = true // stdin continues at the crash point, it cannot re-read
 	default:
 		f, err := stream.OpenDocFile(*input)
 		if err != nil {
@@ -106,16 +119,86 @@ func cmdServe(args []string) error {
 		docs = f
 	}
 
-	front, closeFront, err := newDocFrontEnd(docs, aggCfg, aggWorkers)
-	if err != nil {
+	// Durability: identical to stories run — documents are the WAL unit, the
+	// fingerprint binds everything shaping the derived stream, and recovery
+	// resumes serving with story identities intact.
+	var pst *persist.Store
+	var restored *persist.PipelineState
+	if walOpts.enabled() {
+		overlap, err := newOverlap()
+		if err != nil {
+			return err
+		}
+		fp := fmt.Sprintf("serve:v1:input=%s,batch=%v,shards=%d,overlap=%s,%s,%s,%s",
+			inputID, *batchMode, *shards, overlap,
+			aggFingerprint(aggCfg), trackerFingerprint(trkCfg), engineFingerprint(engCfg))
+		if pst, err = openWAL(walOpts, fp, liveTail); err != nil {
+			return err
+		}
+		restored = pst.Restored()
+		docs = pst.Docs(docs)
+	}
+
+	var front docFrontEnd
+	var agg *stream.Aggregator
+	closeFront := func() {}
+	if pst != nil {
+		// The persisted path pins the serial in-line aggregator; see
+		// cmdStoriesRun.
+		if agg, err = persist.RestoreAggregator(docs, aggCfg, restored); err != nil {
+			return err
+		}
+		front = agg
+	} else if front, closeFront, err = newDocFrontEnd(docs, aggCfg, aggWorkers); err != nil {
 		return err
 	}
 	defer closeFront()
-	tracker, err := story.NewTracker(trkCfg)
+	tracker, err := persist.RestoreTracker(trkCfg, restored)
 	if err != nil {
 		return err
 	}
-	bld := serve.NewBuilder(tracker)
+	baseTicks := uint64(0)
+	if pst != nil {
+		baseTicks = pst.BaseTicks()
+	}
+
+	// The engines are built (and restored) up front: a recovered serving table
+	// needs the restored engine's output densities before the first snapshot
+	// publishes.
+	var eng *core.Engine
+	var se *shard.ShardedEngine
+	if *shards > 0 {
+		overlap, err := newOverlap()
+		if err != nil {
+			return err
+		}
+		if se, err = persist.RestoreSharded(shard.Config{Shards: *shards, Engine: engCfg, Overlap: overlap}, restored); err != nil {
+			return err
+		}
+		defer se.Close()
+	} else if eng, err = persist.RestoreEngine(engCfg, restored); err != nil {
+		return err
+	}
+
+	var bld *serve.Builder
+	if restored != nil && restored.Tracker != nil {
+		densities := make(map[string]float64)
+		var subs []core.Subgraph
+		if se != nil {
+			subs = se.OutputDense()
+		} else {
+			subs = eng.OutputDense()
+		}
+		for _, sg := range subs {
+			densities[sg.Set.Key()] = sg.Density
+		}
+		bld = serve.NewBuilderFromState(tracker, *restored.Tracker, densities)
+	} else {
+		bld = serve.NewBuilder(tracker)
+	}
+	if se != nil {
+		se.SetSeqSink(bld)
+	}
 	hub := serve.NewHub()
 	if *quiet {
 		bld.SetRecordSink(hub.Publish)
@@ -155,41 +238,75 @@ func cmdServe(args []string) error {
 	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stopSignals()
 
-	// The writer goroutine owns the whole ingestion pipeline; the builder
+	// serveHook is the per-batch boundary hook (see cmdStoriesRun): graceful
+	// stop on a signal, periodic background snapshots — both only at drained
+	// boundaries, with the builder synced so the serving view and the captured
+	// tracker fold the same boundary.
+	serveHook := func(capture func() (*persist.PipelineState, error)) func() error {
+		return func() error {
+			if ctx.Err() != nil {
+				if pst == nil {
+					return stream.ErrStopped
+				}
+				if !agg.Drained() {
+					return nil // run on to the next drained boundary first
+				}
+				if err := pst.Checkpoint(capture); err != nil {
+					return err
+				}
+				return stream.ErrStopped
+			}
+			if pst != nil && agg.Drained() {
+				return pst.MaybeSnapshot(capture)
+			}
+			return nil
+		}
+	}
+
+	// The writer goroutine owns the whole ingestion pipeline (and the WAL
+	// store — Close must happen on the producer goroutine); the builder
 	// publishes snapshots at update boundaries, so the HTTP readers and the
 	// SSE hub observe the stream live.
 	ingestDone := make(chan error, 1)
 	go func() {
 		var summarize func()
 		var err error
-		if *shards > 0 {
-			overlap, oerr := newOverlap()
-			if oerr != nil {
-				ingestDone <- oerr
-				return
-			}
-			se, serr := shard.New(shard.Config{Shards: *shards, Engine: engCfg, Overlap: overlap})
-			if serr != nil {
-				ingestDone <- serr
-				return
-			}
-			defer se.Close()
-			se.SetSeqSink(bld)
+		var interrupted bool
+		if se != nil {
 			r := stream.NewShardReplay(front, se, nil)
+			capture := func() (*persist.PipelineState, error) {
+				bld.Sync()
+				ps, cerr := persist.CaptureSharded(se, agg, tracker)
+				if cerr != nil {
+					return nil, cerr
+				}
+				ps.Ticks = baseTicks + uint64(r.Stats().Ticks)
+				return ps, nil
+			}
+			r.SetBoundaryHook(serveHook(capture))
 			var st stream.ShardReplayStats
 			switch {
 			case *batchMode:
 				st, err = r.RunBatches(*batch, true)
-			case aggCfg.DecayMode == stream.DecayRescale:
+			case aggCfg.DecayMode == stream.DecayRescale || pst != nil:
 				// Rescaled decay is batch-structured (threshold epoch units),
 				// so the non-coalescing replay still runs through the batch
-				// driver; see cmdStoriesRun.
+				// driver; persisted runs need frame-aligned boundaries. See
+				// cmdStoriesRun.
 				st, err = r.RunBatches(*batch, false)
 			default:
 				st, err = r.Run(*batch)
 			}
+			interrupted = errors.Is(err, stream.ErrStopped)
 			if err == nil {
-				bld.Close(uint64(st.Ticks))
+				// Checkpoint before Builder.Close: Close resolves grace
+				// windows for the final table, which must not leak into
+				// resumable state.
+				if cerr := checkpointWAL(pst, interrupted, capture); cerr != nil {
+					ingestDone <- cerr
+					return
+				}
+				bld.Close(baseTicks + uint64(st.Ticks))
 				ingestState.Store(&ingestSummary{Complete: true, Updates: st.Updates, Ticks: st.Ticks, UpdatesPerSecond: st.UpdatesPerSecond()})
 				summarize = func() {
 					fmt.Println(st)
@@ -199,23 +316,34 @@ func cmdServe(args []string) error {
 				}
 			}
 		} else {
-			eng, cerr := core.New(engCfg)
-			if cerr != nil {
-				ingestDone <- cerr
-				return
-			}
 			r := stream.NewReplay(front, eng, bld)
+			capture := func() (*persist.PipelineState, error) {
+				bld.Sync()
+				ps, cerr := persist.CaptureSingle(eng, agg, tracker)
+				if cerr != nil {
+					return nil, cerr
+				}
+				ps.Ticks = baseTicks + uint64(r.Stats().Ticks)
+				return ps, nil
+			}
+			r.SetBoundaryHook(serveHook(capture))
 			var st stream.ReplayStats
 			switch {
 			case *batchMode:
 				st, err = r.RunBatches(*batch, true)
-			case aggCfg.DecayMode == stream.DecayRescale:
+			case aggCfg.DecayMode == stream.DecayRescale || pst != nil:
 				st, err = r.RunBatches(*batch, false)
 			default:
 				st, err = r.Run(*batch)
 			}
+			interrupted = errors.Is(err, stream.ErrStopped)
 			if err == nil {
-				bld.Close(uint64(st.Ticks))
+				// See the sharded path: checkpoint precedes Builder.Close.
+				if cerr := checkpointWAL(pst, interrupted, capture); cerr != nil {
+					ingestDone <- cerr
+					return
+				}
+				bld.Close(baseTicks + uint64(st.Ticks))
 				ingestState.Store(&ingestSummary{Complete: true, Updates: st.Updates, Ticks: st.Ticks, UpdatesPerSecond: st.UpdatesPerSecond()})
 				summarize = func() {
 					fmt.Println(st)
@@ -225,14 +353,14 @@ func cmdServe(args []string) error {
 				}
 			}
 		}
-		if err != nil {
+		if err != nil && !interrupted {
 			ingestDone <- err
 			return
 		}
 		if summarize != nil {
 			summarize()
 		}
-		ingestDone <- nil
+		ingestDone <- closeWALStore(pst, walOpts, interrupted)
 	}()
 
 	shutdown := func() error {
@@ -244,9 +372,18 @@ func cmdServe(args []string) error {
 	var ingestErr error
 	select {
 	case <-ctx.Done():
-		// Interrupted mid-ingest: stop serving; the writer goroutine is
-		// abandoned with the process.
-		return shutdown()
+		// Interrupted mid-ingest: the boundary hook stops the writer at the
+		// next drained boundary (cutting a final checkpoint when persisting).
+		// Wait for it — bounded, in case the input stalls — then stop serving.
+		select {
+		case ingestErr = <-ingestDone:
+		case <-time.After(5 * time.Second):
+			fmt.Fprintln(os.Stderr, "serve: writer did not reach a stop boundary within 5s; shutting down without it")
+		}
+		if err := shutdown(); err != nil {
+			return err
+		}
+		return ingestErr
 	case <-serveShutdown:
 		return shutdown()
 	case ingestErr = <-ingestDone:

@@ -1,11 +1,15 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
-	"dyndens/internal/core"
+	"dyndens/internal/persist"
 	"dyndens/internal/shard"
 	"dyndens/internal/story"
 	"dyndens/internal/stream"
@@ -238,6 +242,7 @@ func cmdStoriesRun(args []string) error {
 	newAggCfg := aggregatorFlags(fs)
 	newTrkCfg := trackerFlags(fs)
 	newEngineCfg := engineFlags(fs, 6.5, 4)
+	newWAL := walFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -250,6 +255,13 @@ func cmdStoriesRun(args []string) error {
 	aggWorkers, err := newAggWorkers()
 	if err != nil {
 		return fmt.Errorf("stories run: %w", err)
+	}
+	walOpts, err := newWAL()
+	if err != nil {
+		return fmt.Errorf("stories run: %w", err)
+	}
+	if walOpts.enabled() && aggWorkers > 0 {
+		return fmt.Errorf("stories run: -wal is incompatible with -agg-workers (the WAL logs documents on the replay goroutine; a pipelined producer would race it)")
 	}
 	// Validate even for the single-threaded path, where the value is unused —
 	// a typo'd -overlap should fail loudly regardless of -shards.
@@ -270,6 +282,8 @@ func cmdStoriesRun(args []string) error {
 	}
 
 	var docs stream.DocumentSource
+	inputID := *input // the fingerprint's input-identity component
+	liveTail := false
 	switch {
 	case *synth:
 		cfg, err := newSynthCfg()
@@ -281,8 +295,10 @@ func cmdStoriesRun(args []string) error {
 			return err
 		}
 		docs = gen
+		inputID = fmt.Sprintf("synth:%+v", gen.Config())
 	case *input == "-":
 		docs = stream.NewDocReaderSource("stdin", os.Stdin)
+		liveTail = true // stdin continues at the crash point, it cannot re-read
 	default:
 		f, err := stream.OpenDocFile(*input)
 		if err != nil {
@@ -292,17 +308,79 @@ func cmdStoriesRun(args []string) error {
 		docs = f
 	}
 
-	front, closeFront, err := newDocFrontEnd(docs, aggCfg, aggWorkers)
-	if err != nil {
+	// Durability: log every document to the WAL and recover past state at
+	// open. Only documents are logged — the aggregator deterministically
+	// regenerates the co-occurrence updates on replay, so the WAL stays small
+	// and the fingerprint must bind every knob that shapes the derived stream.
+	var pst *persist.Store
+	var restored *persist.PipelineState
+	if walOpts.enabled() {
+		overlap, err := newOverlap()
+		if err != nil {
+			return err
+		}
+		fp := fmt.Sprintf("stories:v1:input=%s,batch=%v,shards=%d,overlap=%s,%s,%s,%s",
+			inputID, *batchMode, *shards, overlap,
+			aggFingerprint(aggCfg), trackerFingerprint(trkCfg), engineFingerprint(engCfg))
+		if pst, err = openWAL(walOpts, fp, liveTail); err != nil {
+			return err
+		}
+		restored = pst.Restored()
+		docs = pst.Docs(docs)
+	}
+
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+
+	var front docFrontEnd
+	var agg *stream.Aggregator
+	closeFront := func() {}
+	if pst != nil {
+		// The persisted path pins the serial in-line aggregator: its Drained
+		// boundaries are the consistent snapshot points.
+		if agg, err = persist.RestoreAggregator(docs, aggCfg, restored); err != nil {
+			return err
+		}
+		front = agg
+	} else if front, closeFront, err = newDocFrontEnd(docs, aggCfg, aggWorkers); err != nil {
 		return err
 	}
 	defer closeFront()
-	tracker, err := story.NewTracker(trkCfg)
+	tracker, err := persist.RestoreTracker(trkCfg, restored)
 	if err != nil {
 		return err
 	}
 	if !*quiet {
 		tracker.SetRecordSink(func(r story.Record) { fmt.Println(r) })
+	}
+	baseTicks := uint64(0)
+	if pst != nil {
+		baseTicks = pst.BaseTicks()
+	}
+
+	// storiesHook is the per-batch boundary hook: stop cleanly on a signal
+	// and snapshot periodically — both only at drained boundaries, where the
+	// aggregator has handed out every update of the documents consumed so far
+	// (mid-document state would not be capturable).
+	storiesHook := func(capture func() (*persist.PipelineState, error)) func() error {
+		return func() error {
+			if ctx.Err() != nil {
+				if pst == nil {
+					return stream.ErrStopped
+				}
+				if !agg.Drained() {
+					return nil // run on to the next drained boundary first
+				}
+				if err := pst.Checkpoint(capture); err != nil {
+					return err
+				}
+				return stream.ErrStopped
+			}
+			if pst != nil && agg.Drained() {
+				return pst.MaybeSnapshot(capture)
+			}
+			return nil
+		}
 	}
 
 	if *shards > 0 {
@@ -310,60 +388,96 @@ func cmdStoriesRun(args []string) error {
 		if err != nil {
 			return err
 		}
-		se, err := shard.New(shard.Config{Shards: *shards, Engine: engCfg, Overlap: overlap})
+		se, err := persist.RestoreSharded(shard.Config{Shards: *shards, Engine: engCfg, Overlap: overlap}, restored)
 		if err != nil {
 			return err
 		}
 		defer se.Close()
 		se.SetSeqSink(tracker)
 		r := stream.NewShardReplay(front, se, nil)
+		capture := func() (*persist.PipelineState, error) {
+			ps, err := persist.CaptureSharded(se, agg, tracker)
+			if err != nil {
+				return nil, err
+			}
+			ps.Ticks = baseTicks + uint64(r.Stats().Ticks)
+			return ps, nil
+		}
+		r.SetBoundaryHook(storiesHook(capture))
 		var st stream.ShardReplayStats
 		switch {
 		case *batchMode:
 			st, err = r.RunBatches(*batch, true)
-		case aggCfg.DecayMode == stream.DecayRescale:
+		case aggCfg.DecayMode == stream.DecayRescale || pst != nil:
 			// Rescaled decay is batch-structured (threshold epoch units), so
 			// the non-coalescing replay still runs through the batch driver —
 			// documents are fed per-update, epochs as atomic threshold ticks.
+			// Persisted runs need it too: the WAL frame unit is the document,
+			// and the batch driver keeps boundaries frame-aligned.
 			st, err = r.RunBatches(*batch, false)
 		default:
 			st, err = r.Run(*batch)
 		}
-		if err != nil {
+		interrupted := errors.Is(err, stream.ErrStopped)
+		if err != nil && !interrupted {
 			return err
 		}
-		tracker.Close(uint64(st.Ticks))
+		if !interrupted {
+			// Checkpoint before Tracker.Close: Close resolves grace windows
+			// for the final report, which must not leak into resumable state.
+			if err := checkpointWAL(pst, interrupted, capture); err != nil {
+				return err
+			}
+			tracker.Close(baseTicks + uint64(st.Ticks))
+		}
 		fmt.Println(st)
 		fmt.Println(front.Stats())
 		printStoryTable(tracker)
 		fmt.Println(shardedSummary(se.Stats()))
-		return nil
+		return closeWALStore(pst, walOpts, interrupted)
 	}
 
-	eng, err := core.New(engCfg)
+	eng, err := persist.RestoreEngine(engCfg, restored)
 	if err != nil {
 		return err
 	}
 	r := stream.NewReplay(front, eng, tracker)
+	capture := func() (*persist.PipelineState, error) {
+		ps, err := persist.CaptureSingle(eng, agg, tracker)
+		if err != nil {
+			return nil, err
+		}
+		ps.Ticks = baseTicks + uint64(r.Stats().Ticks)
+		return ps, nil
+	}
+	r.SetBoundaryHook(storiesHook(capture))
 	var st stream.ReplayStats
 	switch {
 	case *batchMode:
 		st, err = r.RunBatches(*batch, true)
-	case aggCfg.DecayMode == stream.DecayRescale:
-		// See the sharded path: rescaled decay requires the batch driver.
+	case aggCfg.DecayMode == stream.DecayRescale || pst != nil:
+		// See the sharded path: rescaled decay and persisted runs require
+		// the batch driver.
 		st, err = r.RunBatches(*batch, false)
 	default:
 		st, err = r.Run(*batch)
 	}
-	if err != nil {
+	interrupted := errors.Is(err, stream.ErrStopped)
+	if err != nil && !interrupted {
 		return err
 	}
-	tracker.Close(uint64(st.Ticks))
+	if !interrupted {
+		// See the sharded path: checkpoint precedes Tracker.Close.
+		if err := checkpointWAL(pst, interrupted, capture); err != nil {
+			return err
+		}
+		tracker.Close(baseTicks + uint64(st.Ticks))
+	}
 	fmt.Println(st)
 	fmt.Println(front.Stats())
 	printStoryTable(tracker)
 	fmt.Println(engineSummary(eng))
-	return nil
+	return closeWALStore(pst, walOpts, interrupted)
 }
 
 // printStoryTable prints the tracker summary line and the final story table.

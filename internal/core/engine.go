@@ -285,6 +285,11 @@ func New(cfg Config) (*Engine, error) {
 }
 
 // MustNew is New that panics on error; intended for tests and examples.
+// Production callers use New and handle the error: throughout the engine,
+// panics are reserved for Must* test helpers and invariant violations that
+// mark caller bugs (use after Close, a threshold-batch scale producing an
+// unrepresentable threshold) — every recoverable failure is a returned error
+// (see the internal/stream package comment for the pipeline-wide contract).
 func MustNew(cfg Config) *Engine {
 	e, err := New(cfg)
 	if err != nil {

@@ -1,0 +1,276 @@
+package persist
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"dyndens/internal/core"
+	"dyndens/internal/shard"
+	"dyndens/internal/story"
+	"dyndens/internal/stream"
+)
+
+// The crash-recovery property: kill the pipeline at an arbitrary point,
+// restart it over the same WAL directory, let it finish — the story records,
+// the story table, and the output-dense result set must be deep-equal to an
+// uninterrupted run. Exercised across {single, K=4 scoped} × {exact, rescale}
+// × {buffered, fsync} with the kill point randomised.
+
+var testEngCfg = core.Config{T: 6.5, Nmax: 4}
+var testTrkCfg = story.Config{MinJaccard: 0.5, Grace: 350, MinCardinality: 3}
+
+func testAggCfg(mode stream.DecayMode) stream.AggregatorConfig {
+	return stream.AggregatorConfig{EpochLength: 25, Decay: 0.7, DecayMode: mode}
+}
+
+func testDocs(t *testing.T, n int) []stream.Document {
+	t.Helper()
+	gen, err := stream.NewDocSynthetic(stream.DocSynthConfig{
+		BackgroundEntities: 30, Stories: 3, StorySize: 4, Docs: n, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	docs, err := stream.DrainDocs(gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return docs
+}
+
+type runResult struct {
+	records []story.Record
+	table   []story.Snapshot
+	keys    []string
+}
+
+// runPipeline drives the full document pipeline over dir. stopAfter > 0
+// simulates a crash: the run aborts once that many documents are durable and
+// the store is abandoned without checkpoint, flush, or close — exactly the
+// state a SIGKILL leaves behind. Returns finished=false in that case.
+func runPipeline(t *testing.T, dir string, docs []stream.Document, shards int,
+	mode stream.DecayMode, fsync bool, stopAfter, snapEvery uint64) (runResult, bool) {
+	t.Helper()
+	st, err := Open(Config{
+		Dir:           dir,
+		Fingerprint:   fmt.Sprintf("crash-test:shards=%d:mode=%d", shards, mode),
+		SnapshotEvery: snapEvery,
+		Fsync:         fsync,
+		SegmentBytes:  4096, // force rotation so recovery crosses segments
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := st.Docs(stream.NewSliceDocSource(docs))
+	agg, err := RestoreAggregator(src, testAggCfg(mode), st.Restored())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := RestoreTracker(testTrkCfg, st.Restored())
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseTicks := st.BaseTicks()
+
+	crashed := func(err error) bool {
+		if errors.Is(err, stream.ErrStopped) {
+			return true // abandon the store: no checkpoint, no flush, no close
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		return false
+	}
+
+	if shards > 0 {
+		se, err := RestoreSharded(shard.Config{Shards: shards, Engine: testEngCfg}, st.Restored())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer se.Close()
+		se.SetSeqSink(tr)
+		rep := stream.NewShardReplay(agg, se, nil)
+		rep.SetBoundaryHook(func() error {
+			if stopAfter > 0 && st.Seq() >= stopAfter {
+				return stream.ErrStopped
+			}
+			if !agg.Drained() {
+				return nil
+			}
+			return st.MaybeSnapshot(func() (*PipelineState, error) {
+				ps, err := CaptureSharded(se, agg, tr)
+				if err != nil {
+					return nil, err
+				}
+				ps.Ticks = baseTicks + uint64(rep.Stats().Ticks)
+				return ps, nil
+			})
+		})
+		stats, err := rep.RunBatches(256, false)
+		if crashed(err) {
+			return runResult{}, false
+		}
+		tr.Close(baseTicks + uint64(stats.Ticks))
+		res := runResult{records: tr.Records(), table: tr.Stories(), keys: se.OutputDenseKeys()}
+		if err := st.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return res, true
+	}
+
+	eng, err := RestoreEngine(testEngCfg, st.Restored())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := stream.NewReplay(agg, eng, tr)
+	rep.SetBoundaryHook(func() error {
+		if stopAfter > 0 && st.Seq() >= stopAfter {
+			return stream.ErrStopped
+		}
+		if !agg.Drained() {
+			return nil
+		}
+		return st.MaybeSnapshot(func() (*PipelineState, error) {
+			ps, err := CaptureSingle(eng, agg, tr)
+			if err != nil {
+				return nil, err
+			}
+			ps.Ticks = baseTicks + uint64(rep.Stats().Ticks)
+			return ps, nil
+		})
+	})
+	stats, err := rep.RunBatches(256, false)
+	if crashed(err) {
+		return runResult{}, false
+	}
+	tr.Close(baseTicks + uint64(stats.Ticks))
+	res := runResult{records: tr.Records(), table: tr.Stories(), keys: eng.OutputDenseKeys()}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return res, true
+}
+
+// runBare is the persistence-free reference: the same pipeline with no store.
+func runBare(t *testing.T, docs []stream.Document, shards int, mode stream.DecayMode) runResult {
+	t.Helper()
+	agg, err := stream.NewAggregator(stream.NewSliceDocSource(docs), testAggCfg(mode))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := story.NewTracker(testTrkCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shards > 0 {
+		se, err := shard.New(shard.Config{Shards: shards, Engine: testEngCfg})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer se.Close()
+		se.SetSeqSink(tr)
+		stats, err := stream.NewShardReplay(agg, se, nil).RunBatches(256, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr.Close(uint64(stats.Ticks))
+		return runResult{records: tr.Records(), table: tr.Stories(), keys: se.OutputDenseKeys()}
+	}
+	eng := core.MustNew(testEngCfg)
+	stats, err := stream.NewReplay(agg, eng, tr).RunBatches(256, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.Close(uint64(stats.Ticks))
+	return runResult{records: tr.Records(), table: tr.Stories(), keys: eng.OutputDenseKeys()}
+}
+
+func checkEqual(t *testing.T, got, want runResult, label string) {
+	t.Helper()
+	if !reflect.DeepEqual(got.records, want.records) {
+		t.Errorf("%s: story records diverge:\n got %d records: %v\nwant %d records: %v",
+			label, len(got.records), got.records, len(want.records), want.records)
+	}
+	if !reflect.DeepEqual(got.table, want.table) {
+		t.Errorf("%s: story table diverges:\n got %v\nwant %v", label, got.table, want.table)
+	}
+	if !reflect.DeepEqual(got.keys, want.keys) {
+		t.Errorf("%s: output-dense keys diverge:\n got %v\nwant %v", label, got.keys, want.keys)
+	}
+}
+
+// TestLoggedRunMatchesBare pins that the WAL wrapper itself is transparent:
+// a logged, uninterrupted run equals a persistence-free run bit for bit.
+func TestLoggedRunMatchesBare(t *testing.T) {
+	docs := testDocs(t, 400)
+	for _, shards := range []int{0, 4} {
+		for _, mode := range []stream.DecayMode{stream.DecayExact, stream.DecayRescale} {
+			label := fmt.Sprintf("shards=%d/mode=%v", shards, mode)
+			want := runBare(t, docs, shards, mode)
+			got, done := runPipeline(t, t.TempDir(), docs, shards, mode, false, 0, 60)
+			if !done {
+				t.Fatalf("%s: uninterrupted run did not finish", label)
+			}
+			checkEqual(t, got, want, label)
+		}
+	}
+}
+
+// TestCrashRestartRecovers is the random-kill property test: kill at a random
+// durable unit, restart over the same directory, finish, and require the
+// final state to deep-equal the uninterrupted reference. Some kills land
+// before the first snapshot (pure-WAL or pure-reread recovery), some after
+// (snapshot + WAL replay + live tail) — the rng seeds are fixed so failures
+// reproduce.
+func TestCrashRestartRecovers(t *testing.T) {
+	docs := testDocs(t, 400)
+	rng := rand.New(rand.NewSource(41))
+	for _, shards := range []int{0, 4} {
+		for _, mode := range []stream.DecayMode{stream.DecayExact, stream.DecayRescale} {
+			want := runBare(t, docs, shards, mode)
+			for _, fsync := range []bool{false, true} {
+				kills := 3
+				if fsync {
+					kills = 2 // fsync per frame is slow; fewer kill points suffice
+				}
+				for k := 0; k < kills; k++ {
+					stopAfter := uint64(rng.Intn(len(docs)-20) + 10)
+					label := fmt.Sprintf("shards=%d/mode=%v/fsync=%v/kill@%d", shards, mode, fsync, stopAfter)
+					dir := filepath.Join(t.TempDir(), "wal")
+					if _, done := runPipeline(t, dir, docs, shards, mode, fsync, stopAfter, 60); done {
+						t.Fatalf("%s: run finished before the kill point", label)
+					}
+					got, done := runPipeline(t, dir, docs, shards, mode, fsync, 0, 60)
+					if !done {
+						t.Fatalf("%s: restarted run did not finish", label)
+					}
+					checkEqual(t, got, want, label)
+				}
+			}
+		}
+	}
+}
+
+// TestDoubleCrashRecovers kills the pipeline twice — the second kill while
+// recovering from the first — before letting it finish.
+func TestDoubleCrashRecovers(t *testing.T) {
+	docs := testDocs(t, 400)
+	mode := stream.DecayRescale
+	want := runBare(t, docs, 0, mode)
+	dir := filepath.Join(t.TempDir(), "wal")
+	if _, done := runPipeline(t, dir, docs, 0, mode, false, 250, 60); done {
+		t.Fatal("first run finished before the kill point")
+	}
+	if _, done := runPipeline(t, dir, docs, 0, mode, false, 320, 60); done {
+		t.Fatal("second run finished before the kill point")
+	}
+	got, done := runPipeline(t, dir, docs, 0, mode, false, 0, 60)
+	if !done {
+		t.Fatal("final run did not finish")
+	}
+	checkEqual(t, got, want, "double crash")
+}

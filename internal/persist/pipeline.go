@@ -1,0 +1,111 @@
+package persist
+
+import (
+	"fmt"
+
+	"dyndens/internal/core"
+	"dyndens/internal/shard"
+	"dyndens/internal/story"
+	"dyndens/internal/stream"
+)
+
+// Capture/restore helpers: the glue between the Store and the pipeline's
+// per-layer state exports. Capture functions run synchronously at a drained
+// boundary (every handed-out unit processed, aggregator Drained, tracker
+// resolvable) and return a PipelineState whose Seq the Store stamps; restore
+// functions rebuild each layer from a recovered state, behaving exactly like
+// the plain constructors when there is nothing to restore.
+
+// CaptureSingle captures a single-engine pipeline. agg and tr may be nil
+// (edge-stream pipelines have no co-occurrence front-end; replay-only runs
+// have no story layer). A tracker wrapped by a serve.Builder must be synced
+// through Builder.Sync before capture so the serving view folds the same
+// boundary; the tracker-level Sync here is then a no-op.
+func CaptureSingle(eng *core.Engine, agg *stream.Aggregator, tr *story.Tracker) (*PipelineState, error) {
+	gs := eng.Graph().ExportState()
+	es := eng.ExportState()
+	st := &PipelineState{Graph: &gs, Engine: &es}
+	if err := captureFront(st, agg, tr); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+// CaptureSharded captures a sharded pipeline (the engine export quiesces the
+// deployment). The same Builder.Sync caveat as CaptureSingle applies.
+func CaptureSharded(se *shard.ShardedEngine, agg *stream.Aggregator, tr *story.Tracker) (*PipelineState, error) {
+	st := &PipelineState{Shard: se.ExportState()}
+	if err := captureFront(st, agg, tr); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+func captureFront(st *PipelineState, agg *stream.Aggregator, tr *story.Tracker) error {
+	if agg != nil {
+		as, err := agg.ExportState()
+		if err != nil {
+			return err
+		}
+		st.Agg = &as
+	}
+	if tr != nil {
+		tr.Sync()
+		ts, err := tr.ExportState()
+		if err != nil {
+			return err
+		}
+		st.Tracker = &ts
+	}
+	return nil
+}
+
+// RestoreEngine builds a single engine, importing the recovered state when
+// st carries one. A sharded snapshot fed here is a configuration mismatch.
+func RestoreEngine(cfg core.Config, st *PipelineState) (*core.Engine, error) {
+	eng, err := core.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if st == nil || st.Engine == nil {
+		if st != nil && st.Shard != nil {
+			return nil, fmt.Errorf("persist: snapshot holds sharded state, pipeline is single-engine")
+		}
+		return eng, nil
+	}
+	if err := eng.ImportState(*st.Graph, *st.Engine); err != nil {
+		return nil, err
+	}
+	return eng, nil
+}
+
+// RestoreSharded builds a sharded deployment, importing the recovered state
+// when st carries one.
+func RestoreSharded(cfg shard.Config, st *PipelineState) (*shard.ShardedEngine, error) {
+	if st == nil || st.Shard == nil {
+		if st != nil && st.Engine != nil {
+			return nil, fmt.Errorf("persist: snapshot holds single-engine state, pipeline is sharded")
+		}
+		return shard.New(cfg)
+	}
+	return shard.NewFromState(cfg, st.Shard)
+}
+
+// RestoreAggregator builds the co-occurrence front-end over docs — normally
+// the Store's recovery chain — resuming from the recovered weight table and
+// epoch clock when st carries one.
+func RestoreAggregator(docs stream.DocumentSource, cfg stream.AggregatorConfig, st *PipelineState) (*stream.Aggregator, error) {
+	if st == nil || st.Agg == nil {
+		return stream.NewAggregator(docs, cfg)
+	}
+	return stream.NewAggregatorFromState(docs, cfg, *st.Agg)
+}
+
+// RestoreTracker builds the story layer, resuming story identities from the
+// recovered table when st carries one.
+func RestoreTracker(cfg story.Config, st *PipelineState) (*story.Tracker, error) {
+	if st == nil || st.Tracker == nil {
+		return story.NewTracker(cfg)
+	}
+	return story.NewTrackerFromState(cfg, *st.Tracker)
+}

@@ -1,0 +1,339 @@
+package persist
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Frame kinds: the input-stream unit a WAL frame carries. A WAL directory
+// holds one kind of stream (documents or source batches), enforced by the
+// fingerprint, but the reader is kind-agnostic.
+const (
+	frameDoc       = 1 // one ingested document: time + entity set
+	frameBatch     = 2 // one source batch: decay flag + updates
+	frameThreshold = 3 // one rescaled-decay epoch unit: scale + cancellations
+)
+
+const (
+	walMagic     = "DDWSEG1\n"
+	frameHdrLen  = 8 // [length u32][crc u32]
+	frameMinBody = 9 // [seq u64][kind u8]
+	maxFrameBody = 1 << 28
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// frame is one decoded WAL record. payload is owned by the frame.
+type frame struct {
+	seq     uint64
+	kind    uint8
+	payload []byte
+}
+
+func segmentName(firstSeq uint64) string {
+	return fmt.Sprintf("wal-%016x.seg", firstSeq)
+}
+
+// parseSegmentName returns the first sequence encoded in a segment file name,
+// or false if the name is not a WAL segment.
+func parseSegmentName(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, "wal-") || !strings.HasSuffix(name, ".seg") {
+		return 0, false
+	}
+	n, err := strconv.ParseUint(name[4:len(name)-4], 16, 64)
+	if err != nil {
+		return 0, false
+	}
+	return n, true
+}
+
+// walWriter appends frames to segment files, rotating at segBytes. Appends
+// are buffered; Flush makes them crash-durable against process death, Sync
+// additionally against power loss.
+type walWriter struct {
+	dir         string
+	fingerprint string
+	segBytes    int64
+	fsync       bool
+
+	f       *os.File
+	bw      *bufio.Writer
+	size    int64
+	nextSeq uint64
+
+	frames  uint64 // frames appended this process
+	bytes   uint64 // frame bytes appended this process
+	hdr     [frameHdrLen]byte
+	scratch encoder
+}
+
+func newWALWriter(dir, fingerprint string, segBytes int64, fsync bool, nextSeq uint64) *walWriter {
+	if segBytes <= 0 {
+		segBytes = 64 << 20
+	}
+	return &walWriter{dir: dir, fingerprint: fingerprint, segBytes: segBytes, fsync: fsync, nextSeq: nextSeq}
+}
+
+// openSegment starts a fresh segment whose first frame will be w.nextSeq.
+func (w *walWriter) openSegment() error {
+	if err := w.closeSegment(); err != nil {
+		return err
+	}
+	path := filepath.Join(w.dir, segmentName(w.nextSeq))
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	w.f = f
+	w.bw = bufio.NewWriterSize(f, 1<<16)
+	var e encoder
+	e.b = append(e.b, walMagic...)
+	e.str(w.fingerprint)
+	e.u64(w.nextSeq)
+	if _, err := w.bw.Write(e.b); err != nil {
+		return err
+	}
+	w.size = int64(len(e.b))
+	return nil
+}
+
+func (w *walWriter) closeSegment() error {
+	if w.f == nil {
+		return nil
+	}
+	err := w.bw.Flush()
+	if cerr := w.f.Close(); err == nil {
+		err = cerr
+	}
+	w.f, w.bw = nil, nil
+	return err
+}
+
+// append writes one frame carrying payload under the next sequence number and
+// returns that sequence. With fsync on, the frame is synced to stable storage
+// before append returns.
+func (w *walWriter) append(kind uint8, payload []byte) (uint64, error) {
+	frameLen := int64(frameHdrLen + frameMinBody + len(payload))
+	if w.f == nil || (w.size > int64(len(walMagic)) && w.size+frameLen > w.segBytes) {
+		if err := w.openSegment(); err != nil {
+			return 0, err
+		}
+	}
+	seq := w.nextSeq
+	e := &w.scratch
+	e.b = e.b[:0]
+	e.u64(seq)
+	e.u8(kind)
+	e.b = append(e.b, payload...)
+	binary.LittleEndian.PutUint32(w.hdr[0:4], uint32(len(e.b)))
+	binary.LittleEndian.PutUint32(w.hdr[4:8], crc32.Checksum(e.b, castagnoli))
+	if _, err := w.bw.Write(w.hdr[:]); err != nil {
+		return 0, err
+	}
+	if _, err := w.bw.Write(e.b); err != nil {
+		return 0, err
+	}
+	w.size += frameLen
+	w.nextSeq++
+	w.frames++
+	w.bytes += uint64(frameLen)
+	if w.fsync {
+		if err := w.bw.Flush(); err != nil {
+			return 0, err
+		}
+		if err := w.f.Sync(); err != nil {
+			return 0, err
+		}
+	}
+	return seq, nil
+}
+
+// flush pushes buffered frames to the OS (durable across process death, not
+// power loss unless fsync mode is on — then every append already synced).
+func (w *walWriter) flush() error {
+	if w.bw == nil {
+		return nil
+	}
+	return w.bw.Flush()
+}
+
+func (w *walWriter) close() error { return w.closeSegment() }
+
+// segScan is one segment file's scan result: its CRC-valid frame prefix with
+// per-frame end offsets (for physical truncation of a torn tail), whether a
+// torn/corrupt tail followed, and the byte length of the header.
+type segScan struct {
+	name      string
+	firstSeq  uint64
+	frames    []frame
+	ends      []int64 // ends[i] = file offset just past frames[i]
+	headerEnd int64
+	torn      bool
+}
+
+// readSegment reads one segment file's valid frame prefix. A corrupt or torn
+// tail ends the scan (torn=true); frames before it are returned. A damaged
+// header — a zero-byte file from a crash between segment creation and the
+// first flush, or a bit-flipped magic — yields a frameless torn scan with
+// headerEnd < 0 (the file holds nothing recoverable); only a *valid* header
+// with the wrong fingerprint is a hard error, because that means the
+// directory belongs to a differently configured pipeline.
+func readSegment(path, fingerprint string) (segScan, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return segScan{}, err
+	}
+	if len(raw) < len(walMagic) || string(raw[:len(walMagic)]) != walMagic {
+		return segScan{name: filepath.Base(path), torn: true, headerEnd: -1}, nil
+	}
+	d := decoder{b: raw, off: len(walMagic)}
+	fp := d.str()
+	sc := segScan{name: filepath.Base(path), firstSeq: d.u64()}
+	if d.err != nil {
+		return segScan{name: filepath.Base(path), torn: true, headerEnd: -1}, nil
+	}
+	if fp != fingerprint {
+		return segScan{}, fmt.Errorf("persist: %s: fingerprint %q does not match pipeline %q", path, fp, fingerprint)
+	}
+	sc.headerEnd = int64(d.off)
+	off := d.off
+	for off < len(raw) {
+		if off+frameHdrLen > len(raw) {
+			sc.torn = true
+			return sc, nil
+		}
+		n := int(binary.LittleEndian.Uint32(raw[off : off+4]))
+		crc := binary.LittleEndian.Uint32(raw[off+4 : off+8])
+		if n < frameMinBody || n > maxFrameBody || off+frameHdrLen+n > len(raw) {
+			sc.torn = true
+			return sc, nil
+		}
+		body := raw[off+frameHdrLen : off+frameHdrLen+n]
+		if crc32.Checksum(body, castagnoli) != crc {
+			sc.torn = true
+			return sc, nil
+		}
+		sc.frames = append(sc.frames, frame{
+			seq:     binary.LittleEndian.Uint64(body[:8]),
+			kind:    body[8],
+			payload: append([]byte(nil), body[frameMinBody:]...),
+		})
+		off += frameHdrLen + n
+		sc.ends = append(sc.ends, int64(off))
+	}
+	return sc, nil
+}
+
+// walScan is the whole directory's scan: the longest contiguous frame chain
+// plus the per-segment detail needed to physically clean the tail.
+type walScan struct {
+	chain []frame
+	segs  []segScan
+}
+
+// scanWAL reads dir's segments in sequence order and assembles the longest
+// contiguous frame chain. Corruption is contained, never fatal: a torn or
+// bit-flipped tail truncates recovery to the last good frame, and a sequence
+// gap (lost or mid-stream-corrupted segment) cuts the chain at the last
+// contiguous unit — later segments are ignored, because replaying past a
+// hole would desynchronise the stream.
+func scanWAL(dir, fingerprint string) (walScan, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		if errors.Is(err, io.EOF) || os.IsNotExist(err) {
+			return walScan{}, nil
+		}
+		return walScan{}, err
+	}
+	var names []string
+	seqs := map[string]uint64{}
+	for _, ent := range entries {
+		if ent.IsDir() {
+			continue
+		}
+		if seq, ok := parseSegmentName(ent.Name()); ok {
+			names = append(names, ent.Name())
+			seqs[ent.Name()] = seq
+		}
+	}
+	sort.Slice(names, func(i, j int) bool { return seqs[names[i]] < seqs[names[j]] })
+	var scan walScan
+	broken := false
+	for _, name := range names {
+		sc, err := readSegment(filepath.Join(dir, name), fingerprint)
+		if err != nil {
+			return walScan{}, err
+		}
+		if sc.headerEnd < 0 {
+			// Damaged header: nothing recoverable. Take the first sequence from
+			// the file name so clean() can remove or truncate it.
+			sc.firstSeq = seqs[name]
+		} else if sc.firstSeq != seqs[name] {
+			return walScan{}, fmt.Errorf("persist: %s: header sequence %d does not match name", name, sc.firstSeq)
+		}
+		scan.segs = append(scan.segs, sc)
+		if broken {
+			continue // chain already cut; keep scanning only for cleanup info
+		}
+		if len(scan.chain) > 0 && sc.firstSeq > scan.chain[len(scan.chain)-1].seq+1 {
+			broken = true // gap between segments
+			continue
+		}
+		for _, f := range sc.frames {
+			want := sc.firstSeq
+			if len(scan.chain) > 0 {
+				want = scan.chain[len(scan.chain)-1].seq + 1
+			}
+			if f.seq != want {
+				broken = true // in-segment gap: stop at the last good frame
+				break
+			}
+			scan.chain = append(scan.chain, f)
+		}
+		if sc.torn {
+			broken = true // nothing after a torn tail can be contiguous
+		}
+	}
+	return scan, nil
+}
+
+// clean physically reconciles the directory with the recovered durable
+// prefix: segments wholly beyond durableSeq are removed (their frames are
+// unreachable and their names would collide with future appends), and the
+// segment containing durableSeq is truncated just past its last durable
+// frame, clearing torn bytes and post-gap garbage. Best-effort: a failure
+// here only leaves extra bytes that the next recovery will skip again.
+func (s walScan) clean(dir string, durableSeq uint64) {
+	for _, sc := range s.segs {
+		path := filepath.Join(dir, sc.name)
+		if sc.headerEnd < 0 || sc.firstSeq > durableSeq {
+			// Damaged header or wholly beyond the durable prefix: the file holds
+			// nothing recoverable and its name would collide with a re-append.
+			os.Remove(path)
+			continue
+		}
+		keep := durableSeq - sc.firstSeq + 1
+		if keep >= uint64(len(sc.ends)) {
+			if sc.torn && len(sc.ends) > 0 {
+				os.Truncate(path, sc.ends[len(sc.ends)-1])
+			} else if sc.torn {
+				os.Truncate(path, sc.headerEnd)
+			}
+			continue
+		}
+		end := sc.headerEnd
+		if keep > 0 {
+			end = sc.ends[keep-1]
+		}
+		os.Truncate(path, end)
+	}
+}

@@ -2,6 +2,7 @@ package shard
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"sync"
 	"time"
@@ -238,7 +239,18 @@ type ShardedEngine struct {
 
 // New creates a sharded engine and starts its worker and merger goroutines.
 // The engine must be Closed to release them.
-func New(cfg Config) (*ShardedEngine, error) {
+func New(cfg Config) (*ShardedEngine, error) { return NewFromState(cfg, nil) }
+
+// NewFromState is New resuming from an exported deployment state (see
+// ExportState): every worker engine is rebuilt to its exact partition of the
+// index, the merger's output-dense tracking set and sequence counters resume
+// where the exported deployment stopped, and the interest maps re-seed
+// themselves through the membership listener as the indexes are imported. A
+// nil state is equivalent to New. State is applied before any goroutine
+// starts, so the restored deployment is indistinguishable from one that
+// processed the whole stream. Validation failures (damaged snapshots) are
+// returned as errors.
+func NewFromState(cfg Config, st *State) (*ShardedEngine, error) {
 	cfg = cfg.withDefaults()
 	router, err := NewRouter(cfg.Shards)
 	if err != nil {
@@ -283,6 +295,11 @@ func New(cfg Config) (*ShardedEngine, error) {
 			interest: im,
 			scoped:   cfg.Overlap == OverlapScoped,
 		})
+	}
+	if st != nil {
+		if err := se.applyState(st); err != nil {
+			return nil, err
+		}
 	}
 	for _, w := range se.workers {
 		se.workerWG.Add(1)
@@ -390,7 +407,16 @@ func (se *ShardedEngine) ProcessBatch(updates []core.Update) {
 // delivery's positive-pair skip never applies to them. Like ProcessBatch it
 // is asynchronous and single-producer, and an empty unit still consumes a
 // sequence number.
-func (se *ShardedEngine) ProcessThresholdBatch(scale float64, updates []core.Update) {
+//
+// The scale is validated producer-side, BEFORE the unit broadcasts: a corrupt
+// scale (from a damaged replayed stream) surfaces here as a returned error the
+// caller can act on, instead of panicking K worker goroutines. The workers'
+// own engines still treat an invalid scale as a caller invariant violation —
+// by the time a unit reaches them it has passed this check.
+func (se *ShardedEngine) ProcessThresholdBatch(scale float64, updates []core.Update) error {
+	if math.IsNaN(scale) || scale <= 0 || scale > 1 {
+		return fmt.Errorf("shard: threshold batch scale %v outside (0, 1]", scale)
+	}
 	se.produceMu.Lock()
 	defer se.produceMu.Unlock()
 	if se.closed {
@@ -412,6 +438,7 @@ func (se *ShardedEngine) ProcessThresholdBatch(scale float64, updates []core.Upd
 	for _, w := range se.workers {
 		w.in <- b
 	}
+	return nil
 }
 
 // ProcessAll accepts a sequence of updates; the slice may be reused by the
@@ -529,6 +556,29 @@ func (se *ShardedEngine) OutputDenseKeys() []string {
 	}
 	sort.Strings(keys)
 	return keys
+}
+
+// OutputDense flushes and returns the union of the workers' output-dense
+// subgraphs, deduplicated by set key and sorted by key — the same result set
+// OutputDenseKeys describes, with scores and densities attached (a subgraph
+// indexed on several shards has identical values on each, so any copy
+// serves).
+func (se *ShardedEngine) OutputDense() []core.Subgraph {
+	se.produceMu.Lock()
+	defer se.produceMu.Unlock()
+	se.quiesceLocked()
+	seen := make(map[string]bool)
+	var out []core.Subgraph
+	for _, w := range se.workers {
+		for _, sg := range w.eng.OutputDense() {
+			if k := sg.Set.Key(); !seen[k] {
+				seen[k] = true
+				out = append(out, sg)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Set.Key() < out[j].Set.Key() })
+	return out
 }
 
 // OutputDenseCount flushes and returns the size of the merged output-dense

@@ -1,0 +1,82 @@
+package shard
+
+import (
+	"fmt"
+	"sort"
+
+	"dyndens/internal/core"
+	"dyndens/internal/graph"
+)
+
+// This file is the sharded half of crash recovery (internal/persist). A
+// sharded deployment's durable state is the shared graph (every replica holds
+// the same one), each worker's partition of the dense index, the merger's
+// output-dense tracking set, and the sequence counter — everything else
+// (interest maps, channels, load counters) is derived or diagnostic and is
+// rebuilt on restore.
+
+// State is the persisted state of a quiesced ShardedEngine.
+type State struct {
+	// NextSeq is the sequence number the next accepted logical tick will get
+	// (restored ticks resume exactly where the exported deployment stopped).
+	NextSeq uint64
+	// Tracked holds the merger's output-dense set keys, sorted.
+	Tracked []string
+	// Graph is the shared graph replica, stored once: every worker's replica
+	// applies the full update stream, so one copy rebuilds all of them.
+	Graph graph.State
+	// Workers holds each worker engine's index partition, in shard order.
+	Workers []core.EngineState
+}
+
+// ExportState flushes the deployment and captures its durable state. The
+// graph is taken from shard 0's replica (all replicas are identical by
+// construction) and stored once; per-worker states carry only each shard's
+// index partition and scale.
+func (se *ShardedEngine) ExportState() *State {
+	se.produceMu.Lock()
+	defer se.produceMu.Unlock()
+	se.quiesceLocked()
+	st := &State{
+		NextSeq: se.nextSeq,
+		Graph:   se.workers[0].eng.Graph().ExportState(),
+		Workers: make([]core.EngineState, len(se.workers)),
+	}
+	for i, w := range se.workers {
+		st.Workers[i] = w.eng.ExportState()
+	}
+	se.mu.Lock()
+	st.Tracked = make([]string, 0, len(se.tracked))
+	for k := range se.tracked {
+		st.Tracked = append(st.Tracked, k)
+	}
+	se.mu.Unlock()
+	sort.Strings(st.Tracked)
+	return st
+}
+
+// applyState restores st into a freshly built deployment. It runs before any
+// goroutine starts, so no locking is needed; interest maps re-seed themselves
+// through the membership listeners as each worker's index is imported.
+func (se *ShardedEngine) applyState(st *State) error {
+	if len(st.Workers) != len(se.workers) {
+		return fmt.Errorf("shard: restored state has %d workers, deployment has %d", len(st.Workers), len(se.workers))
+	}
+	if st.NextSeq == 0 {
+		return fmt.Errorf("shard: restored next sequence must be ≥ 1")
+	}
+	for i, w := range se.workers {
+		if err := w.eng.ImportState(st.Graph, st.Workers[i]); err != nil {
+			return fmt.Errorf("shard %d: %w", i, err)
+		}
+	}
+	se.nextSeq = st.NextSeq
+	se.nextMerge = st.NextSeq
+	for _, k := range st.Tracked {
+		if se.tracked[k] {
+			return fmt.Errorf("shard: restored tracked key %q duplicated", k)
+		}
+		se.tracked[k] = true
+	}
+	return nil
+}

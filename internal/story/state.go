@@ -1,0 +1,133 @@
+package story
+
+import (
+	"fmt"
+	"sort"
+
+	"dyndens/internal/vset"
+)
+
+// This file is the story half of crash recovery (internal/persist): the
+// tracker's table, lifecycle log, and ID counter export to a plain value and
+// import into a fresh tracker, so a restarted pipeline resumes with story
+// identities intact — the property the paper's real-time story identification
+// is about.
+
+// Sync resolves any buffered update so the tracker reaches a quiescent,
+// exportable state. In sharded (EmitSeq) mode the events of the last
+// event-carrying update are buffered until the next sequence arrives;
+// resolving them early is equivalent because the merger delivers all of an
+// update's events before the deployment quiesces, and expiry uses logical
+// sequences. In single-engine mode the buffer is always empty between
+// updates, so Sync is a no-op there.
+func (t *Tracker) Sync() {
+	switch {
+	case t.pendingSeq != 0:
+		t.resolve(t.pendingSeq)
+	case len(t.buf) > 0:
+		t.resolve(t.seq + 1)
+	}
+}
+
+// StoryState is the persisted form of one story-table row.
+type StoryState struct {
+	ID       ID
+	Entities vset.Set
+	Live     []vset.Set // live subgraph sets, sorted by canonical key
+	BornSeq  uint64
+	LastSeq  uint64
+	FadeSeq  uint64
+	SnapSeq  uint64
+	Snapshot vset.Set
+}
+
+// TrackerState is the persisted state of a Tracker at a quiescent boundary
+// (Sync'd, no buffered events). Stories are sorted by ID.
+type TrackerState struct {
+	Seq     uint64
+	NextID  ID
+	Stories []StoryState
+	Records []Record
+}
+
+// ExportState captures the tracker's table, lifecycle log, and ID counter.
+// It fails if events are still buffered: call Sync at a quiesced boundary
+// first.
+func (t *Tracker) ExportState() (TrackerState, error) {
+	if t.pendingSeq != 0 || len(t.buf) > 0 {
+		return TrackerState{}, fmt.Errorf("story: tracker export requires a resolved boundary (call Sync)")
+	}
+	st := TrackerState{Seq: t.seq, NextID: t.nextID, Records: t.Records()}
+	for _, id := range storyIDs(t.stories) {
+		s := t.stories[id]
+		row := StoryState{
+			ID:       s.id,
+			Entities: s.entities.Clone(),
+			BornSeq:  s.bornSeq,
+			LastSeq:  s.lastSeq,
+			FadeSeq:  s.fadeSeq,
+			SnapSeq:  s.snapSeq,
+			Snapshot: s.snapshot.Clone(),
+		}
+		keys := make([]string, 0, len(s.live))
+		for k := range s.live {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			row.Live = append(row.Live, s.live[k].Clone())
+		}
+		st.Stories = append(st.Stories, row)
+	}
+	return st, nil
+}
+
+// NewTrackerFromState builds a tracker resuming from an exported state: the
+// story table (including fade snapshots and grace bookkeeping), the full
+// lifecycle log, the ID counter, and the resolved sequence all come back
+// exactly, so subsequent events produce the same records an uninterrupted
+// tracker would have. Restored records are NOT replayed through the record
+// sink — they were already delivered before the snapshot was cut.
+func NewTrackerFromState(cfg Config, st TrackerState) (*Tracker, error) {
+	t, err := NewTracker(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if st.NextID == 0 {
+		return nil, fmt.Errorf("story: restored next story ID must be ≥ 1")
+	}
+	t.seq = st.Seq
+	t.nextID = st.NextID
+	for _, row := range st.Stories {
+		if row.ID == 0 || row.ID >= st.NextID {
+			return nil, fmt.Errorf("story: restored story ID %d outside [1, %d)", row.ID, st.NextID)
+		}
+		if _, dup := t.stories[row.ID]; dup {
+			return nil, fmt.Errorf("story: restored story ID %d duplicated", row.ID)
+		}
+		s := &storyState{
+			id:       row.ID,
+			entities: row.Entities,
+			live:     make(map[string]vset.Set, len(row.Live)),
+			bornSeq:  row.BornSeq,
+			lastSeq:  row.LastSeq,
+			fadeSeq:  row.FadeSeq,
+			snapSeq:  row.SnapSeq,
+			snapshot: row.Snapshot,
+		}
+		for _, set := range row.Live {
+			k := set.Key()
+			if owner, taken := t.byKey[k]; taken {
+				return nil, fmt.Errorf("story: restored subgraph %v owned by both story %d and %d", set, owner, row.ID)
+			}
+			s.live[k] = set
+			t.byKey[k] = row.ID
+		}
+		if row.FadeSeq == 0 && len(s.live) == 0 {
+			return nil, fmt.Errorf("story: restored story %d is live with no subgraphs", row.ID)
+		}
+		t.stories[row.ID] = s
+	}
+	t.records = st.Records
+	return t, nil
+}

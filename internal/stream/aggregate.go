@@ -240,7 +240,10 @@ func NewAggregator(docs DocumentSource, cfg AggregatorConfig) (*Aggregator, erro
 }
 
 // MustAggregator is NewAggregator that panics on error; for tests and
-// benchmarks with known-good configurations.
+// benchmarks with known-good configurations. Production callers use
+// NewAggregator and handle the error — the panic here marks a bug in the
+// test, not a recoverable stream condition (see the package comment's
+// errors-versus-panics contract).
 func MustAggregator(docs DocumentSource, cfg AggregatorConfig) *Aggregator {
 	a, err := NewAggregator(docs, cfg)
 	if err != nil {

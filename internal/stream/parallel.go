@@ -24,6 +24,7 @@ type ShardReplay struct {
 	start time.Time
 	done  bool
 	buf   []Update
+	hook  func() error
 }
 
 // ShardLoadStats is one shard's share of a replay. Delivered counts the work
@@ -140,6 +141,13 @@ func NewShardReplay(src UpdateSource, se *shard.ShardedEngine, sink core.EventSi
 	return &ShardReplay{src: src, se: se}
 }
 
+// SetBoundaryHook installs fn to run between driver batches in Run and
+// RunBatches, exactly like Replay.SetBoundaryHook. The hook runs on the
+// producer goroutine with updates possibly still in flight behind the merge
+// barrier; a hook that needs a quiesced deployment (checkpointing) flushes
+// the engine itself.
+func (r *ShardReplay) SetBoundaryHook(fn func() error) { r.hook = fn }
+
 // Engine returns the driven sharded engine.
 func (r *ShardReplay) Engine() *shard.ShardedEngine { return r.se }
 
@@ -231,6 +239,11 @@ func (r *ShardReplay) Run(batchSize int) (ShardReplayStats, error) {
 			}
 			return r.Stats(), err
 		}
+		if r.hook != nil {
+			if err := r.hook(); err != nil {
+				return r.Stats(), err
+			}
+		}
 	}
 }
 
@@ -262,7 +275,12 @@ func (r *ShardReplay) RunBatches(readBatch int, coalesce bool) (ShardReplayStats
 		}
 		switch {
 		case b.Threshold != nil:
-			r.se.ProcessThresholdBatch(b.Threshold.Scale, b.Updates)
+			// The sharded engine validates the scale producer-side (before
+			// broadcasting to workers) and returns the error here rather than
+			// panicking a worker goroutine — the seam a recovered WAL feeds.
+			if err := r.se.ProcessThresholdBatch(b.Threshold.Scale, b.Updates); err != nil {
+				return r.Stats(), err
+			}
 			r.stats.Ticks++
 		case coalesce:
 			r.se.ProcessBatch(b.Updates)
@@ -274,6 +292,11 @@ func (r *ShardReplay) RunBatches(readBatch int, coalesce bool) (ShardReplayStats
 		r.stats.Updates += len(b.Updates)
 		if len(b.Updates) > 0 || b.Threshold != nil {
 			r.stats.Batches++
+		}
+		if r.hook != nil {
+			if err := r.hook(); err != nil {
+				return r.Stats(), err
+			}
 		}
 	}
 }

@@ -27,6 +27,7 @@ type Replay struct {
 	stats       ReplayStats
 	done        bool
 	buf         []Update // per-batch staging so source I/O stays untimed
+	hook        func() error
 }
 
 // SegmentStats is the throughput accounting of one batch-provenance segment
@@ -131,6 +132,14 @@ func NewReplay(src UpdateSource, eng *core.Engine, sink core.EventSink) *Replay 
 	}
 }
 
+// SetBoundaryHook installs fn to run between driver batches in Run and
+// RunBatches — the quiescent points where every handed-out update has been
+// processed. Hooks are how periodic checkpointing and signal-aware stops
+// plug into the drivers: a non-nil error aborts the run and is returned to
+// the caller (return ErrStopped for a clean stop; the driver's statistics
+// remain valid either way).
+func (r *Replay) SetBoundaryHook(fn func() error) { r.hook = fn }
+
 // Engine returns the driven engine.
 func (r *Replay) Engine() *core.Engine { return r.eng }
 
@@ -214,6 +223,11 @@ func (r *Replay) Run(batchSize int) (ReplayStats, error) {
 			}
 			return r.Stats(), err
 		}
+		if r.hook != nil {
+			if err := r.hook(); err != nil {
+				return r.Stats(), err
+			}
+		}
 	}
 }
 
@@ -250,6 +264,12 @@ func (r *Replay) RunBatches(readBatch int, coalesce bool) (ReplayStats, error) {
 		start := time.Now()
 		switch {
 		case b.Threshold != nil:
+			// Validate at the stream seam: a recovered WAL could in principle
+			// hand the engine a corrupt scale, and the engine treats a bad
+			// scale as a caller invariant violation (panic), not stream data.
+			if err := ValidateThresholdScale(b.Threshold.Scale); err != nil {
+				return r.Stats(), err
+			}
 			r.eng.ProcessThresholdBatch(b.Threshold.Scale, b.Updates)
 		case coalesce:
 			r.eng.ProcessBatch(b.Updates)
@@ -286,6 +306,11 @@ func (r *Replay) RunBatches(readBatch int, coalesce bool) (ReplayStats, error) {
 			}
 			if elapsed > r.stats.MaxBatchLatency {
 				r.stats.MaxBatchLatency = elapsed
+			}
+		}
+		if r.hook != nil {
+			if err := r.hook(); err != nil {
+				return r.Stats(), err
 			}
 		}
 	}

@@ -8,6 +8,18 @@
 // seeded synthetic workload generator, or any custom UpdateSource — and
 // provides the Replay driver that micro-batches a source through
 // Engine.Process while aggregating throughput and latency statistics.
+//
+// # Errors versus panics
+//
+// Everything that can fail at a stream seam — malformed input, an I/O error,
+// a boundary hook refusing to continue (stream.ErrStopped), an invalid
+// configuration — is returned as an error and propagates out of the replay
+// drivers, so a crash-consistent caller (cmd/dyndens, internal/persist) can
+// checkpoint, report, and resume. Panics are reserved for two cases: the
+// Must* constructor variants, which exist for tests and examples with
+// known-good configurations, and genuine invariant violations (a sequence
+// number running backwards, use after Close) that indicate a bug in the
+// caller rather than a recoverable condition of the stream.
 package stream
 
 import (

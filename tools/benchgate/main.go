@@ -16,6 +16,7 @@
 //	benchgate -snapshot BENCH_PR7.json [-min-read-qps 50000]
 //	benchgate -snapshot BENCH_PR8.json [-min-decay-rescale-speedup 5.0]
 //	benchgate -snapshot BENCH_PR9.json [-min-ingest-speedup 1.3]
+//	benchgate -snapshot BENCH_PR10.json [-min-wal-ratio 0.7]
 //
 // The -snapshot form validates a committed `dyndens bench -json`
 // perf-trajectory snapshot instead of comparing two live runs, so a
@@ -35,7 +36,11 @@
 // `dyndens bench -ingest-compare`) must record at least the given
 // pipelined-vs-serial wall-clock ingestion speedup — unless the snapshot
 // records gomaxprocs 1, where a parallel front-end cannot beat serial by
-// construction and the gate reports a skip instead of a verdict.
+// construction and the gate reports a skip instead of a verdict; and a
+// wal_overhead block (from `dyndens bench -wal-compare`) must record at
+// least the given fraction of durability-off throughput retained with the
+// document WAL and background snapshotting on (ratio = off wall time / on
+// wall time over the identical workload).
 // Explicitly passing a gate's flag makes its block mandatory; a snapshot
 // carrying no gateable block always fails.
 //
@@ -178,6 +183,12 @@ type snapshot struct {
 		Workers int     `json:"workers"`
 		Speedup float64 `json:"speedup"`
 	} `json:"ingest_pipeline"`
+	WALOverhead *struct {
+		Ratio     float64 `json:"ratio"`
+		Fsync     bool    `json:"fsync"`
+		Frames    uint64  `json:"frames"`
+		Snapshots uint64  `json:"snapshots"`
+	} `json:"wal_overhead"`
 }
 
 // snapshotGates carries each snapshot gate's floor and whether its flag was
@@ -193,6 +204,8 @@ type snapshotGates struct {
 	RescaleSet       bool
 	MinIngest        float64
 	IngestSet        bool
+	MinWALRatio      float64
+	WALSet           bool
 }
 
 // gateSnapshot validates a committed bench snapshot, writing the per-gate
@@ -275,6 +288,18 @@ func gateSnapshot(path string, data []byte, g snapshotGates, w io.Writer) error 
 		}
 		gated = true
 	}
+	if s.WALOverhead != nil || g.WALSet {
+		if s.WALOverhead == nil {
+			return gateFailf("%s carries no wal_overhead block (not a -wal-compare snapshot)", path)
+		}
+		fmt.Fprintf(w, "%s: WAL-on retains %.2fx of durability-off throughput (%d frames, %d snapshots, fsync=%v), floor %.2fx\n",
+			path, s.WALOverhead.Ratio, s.WALOverhead.Frames, s.WALOverhead.Snapshots, s.WALOverhead.Fsync, g.MinWALRatio)
+		if s.WALOverhead.Ratio < g.MinWALRatio {
+			return gateFailf("WAL-on throughput ratio %.2fx below the %.2fx floor",
+				s.WALOverhead.Ratio, g.MinWALRatio)
+		}
+		gated = true
+	}
 	if !gated {
 		return gateFailf("%s carries no gateable block (want batch_compare, scaling, serve, decay_mode_compare, or ingest_pipeline)", path)
 	}
@@ -292,6 +317,7 @@ func main() {
 	flag.Float64Var(&g.MinReadQPS, "min-read-qps", 50_000, "with -snapshot: minimum required closed-loop read throughput in the serve block")
 	flag.Float64Var(&g.MinRescale, "min-decay-rescale-speedup", 5.0, "with -snapshot: minimum required rescale-vs-exact elapsed-time speedup on the decay segment in the decay_mode_compare block")
 	flag.Float64Var(&g.MinIngest, "min-ingest-speedup", 1.3, "with -snapshot: minimum required pipelined-vs-serial wall-clock ingestion speedup in the ingest_pipeline block (skipped when the snapshot records gomaxprocs 1)")
+	flag.Float64Var(&g.MinWALRatio, "min-wal-ratio", 0.7, "with -snapshot: minimum fraction of durability-off throughput the WAL-on pass must retain in the wal_overhead block")
 	flag.Parse()
 	flag.Visit(func(f *flag.Flag) {
 		switch f.Name {
@@ -305,6 +331,8 @@ func main() {
 			g.RescaleSet = true
 		case "min-ingest-speedup":
 			g.IngestSet = true
+		case "min-wal-ratio":
+			g.WALSet = true
 		}
 	})
 

@@ -183,6 +183,25 @@ func TestGateSnapshotSelection(t *testing.T) {
 			gateFail: true,
 		},
 		{
+			name:  "wal block passes its floor",
+			json:  `{"wal_overhead": {"ratio": 0.93, "frames": 20000, "snapshots": 4}}`,
+			gates: snapshotGates{MinWALRatio: 0.7},
+		},
+		{
+			name:     "wal block below floor",
+			json:     `{"wal_overhead": {"ratio": 0.41, "frames": 20000}}`,
+			gates:    snapshotGates{MinWALRatio: 0.7},
+			wantErr:  "WAL-on throughput ratio 0.41x below the 0.70x floor",
+			gateFail: true,
+		},
+		{
+			name:     "explicit wal flag with missing block",
+			json:     `{"serve": {"readers": 4, "read_qps": 120000}}`,
+			gates:    snapshotGates{MinReadQPS: 50_000, MinWALRatio: 0.7, WALSet: true},
+			wantErr:  "no wal_overhead block",
+			gateFail: true,
+		},
+		{
 			name:     "no gateable block",
 			json:     `{"updates_per_second": 12345}`,
 			gates:    snapshotGates{},
